@@ -1,0 +1,115 @@
+package multigossip
+
+import "testing"
+
+func TestPlanCriticality(t *testing.T) {
+	cud, err := Line(7).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	critical, deliveries, err := cud.Criticality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if critical != deliveries || deliveries != 7*6 {
+		t.Fatalf("CUD criticality %d/%d, want fully critical with n(n-1) deliveries", critical, deliveries)
+	}
+	simple, err := Line(7).PlanGossip(WithAlgorithm(Simple))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, sd, err := simple.Criticality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc >= sd {
+		t.Fatalf("Simple should retain slack: %d/%d", sc, sd)
+	}
+}
+
+func TestPlanCoverageUnderLoss(t *testing.T) {
+	plan, err := Mesh(3, 3).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := plan.CoverageUnderLoss(0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != 1 {
+		t.Fatalf("lossless coverage %v, want 1", full)
+	}
+	lossy, err := plan.CoverageUnderLoss(0.1, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy >= full {
+		t.Fatalf("10%% loss did not reduce coverage: %v", lossy)
+	}
+	if _, err := plan.CoverageUnderLoss(-1, 3, 1); err == nil {
+		t.Fatal("negative loss accepted")
+	}
+}
+
+func TestPlanEstimateMakespan(t *testing.T) {
+	plan, err := Star(16).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := plan.EstimateMakespan(1, 0, 0.5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1.5 * float64(plan.Rounds()); flat != want {
+		t.Fatalf("flat makespan %v, want %v", flat, want)
+	}
+	jit, err := plan.EstimateMakespan(1, 1, 0.5, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jit <= flat {
+		t.Fatalf("jitter did not increase makespan: %v vs %v", jit, flat)
+	}
+	if _, err := plan.EstimateMakespan(1, 0, -1, 1, 1); err == nil {
+		t.Fatal("negative barrier accepted")
+	}
+}
+
+func TestPlanMinRepeatPeriod(t *testing.T) {
+	plan, err := Star(10).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	period, err := plan.MinRepeatPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 10
+	if period < n-1 || period > plan.Rounds() {
+		t.Fatalf("period %d outside [n-1, latency] = [%d, %d]", period, n-1, plan.Rounds())
+	}
+}
+
+func TestPlanKPortGossip(t *testing.T) {
+	nw := FullyConnected(13)
+	prev := 1 << 30
+	for _, ports := range []int{1, 2, 4} {
+		plan, err := nw.PlanKPortGossip(ports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.Verify(); err != nil {
+			t.Fatalf("ports=%d: %v", ports, err)
+		}
+		if plan.Ports() != ports {
+			t.Fatalf("Ports() = %d, want %d", plan.Ports(), ports)
+		}
+		if ports > 1 && plan.Rounds() >= prev {
+			t.Fatalf("ports=%d: rounds %d not below %d", ports, plan.Rounds(), prev)
+		}
+		prev = plan.Rounds()
+	}
+	if _, err := nw.PlanKPortGossip(0); err == nil {
+		t.Fatal("zero ports accepted")
+	}
+}

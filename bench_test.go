@@ -1,0 +1,313 @@
+package multigossip_test
+
+// The benchmark harness regenerates every experiment of the reproduction
+// (one benchmark per figure/table/bound of the paper — see DESIGN.md's
+// experiment index) and additionally measures the asymptotic cost of each
+// pipeline stage. Run everything with:
+//
+//	go test -bench=. -benchmem .
+//
+// Experiment benchmarks execute the corresponding expt.Suite entry per
+// iteration and fail the run if an experiment stops reproducing; stage
+// benchmarks time tree construction, labelling, both schedule builders,
+// validation, and the distributed executor across sizes.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"multigossip/internal/baseline"
+	"multigossip/internal/core"
+	"multigossip/internal/expt"
+	"multigossip/internal/graph"
+	"multigossip/internal/online"
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+	"multigossip/internal/stream"
+)
+
+// benchExperiment runs one experiment per iteration, asserting reproduction.
+func benchExperiment(b *testing.B, run func(*expt.Suite) *expt.Table) {
+	b.Helper()
+	suite := expt.NewSuite()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if table := run(suite); !table.Pass {
+			b.Fatalf("%s stopped reproducing:\n%s", table.ID, table.Markdown())
+		}
+	}
+}
+
+func BenchmarkE1RingRotation(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E1RingRotation)
+}
+
+func BenchmarkE2Petersen(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E2Petersen)
+}
+
+func BenchmarkE3Separation(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E3Separation)
+}
+
+func BenchmarkE4TreeConstruction(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E4TreeConstruction)
+}
+
+func BenchmarkE5Table1(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E5Table1)
+}
+
+func BenchmarkE6Table2(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E6Table2)
+}
+
+func BenchmarkE7Table3(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E7Table3)
+}
+
+func BenchmarkE8Table4(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E8Table4)
+}
+
+func BenchmarkE9SimpleBound(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E9SimpleBound)
+}
+
+func BenchmarkE10CUDBound(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E10CUDBound)
+}
+
+func BenchmarkE11OddLine(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E11OddLine)
+}
+
+func BenchmarkE12ApproxRatio(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E12ApproxRatio)
+}
+
+func BenchmarkE13Broadcast(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E13Broadcast)
+}
+
+func BenchmarkE14TelephoneSeparation(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E14TelephoneSeparation)
+}
+
+func BenchmarkE15MinDepthTree(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E15MinDepthTree)
+}
+
+func BenchmarkE16Weighted(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E16Weighted)
+}
+
+func BenchmarkE17Online(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E17Online)
+}
+
+func BenchmarkE18Comparative(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E18Comparative)
+}
+
+func BenchmarkE19LineOptimal(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E19LineOptimal)
+}
+
+func BenchmarkE20RootAblation(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E20RootAblation)
+}
+
+func BenchmarkE21Fragility(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E21Fragility)
+}
+
+func BenchmarkE22FanoutSweep(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E22FanoutSweep)
+}
+
+func BenchmarkE23OptimalityGap(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E23OptimalityGap)
+}
+
+func BenchmarkE24BarrierMakespan(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E24BarrierMakespan)
+}
+
+func BenchmarkE25PipelineThroughput(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E25PipelineThroughput)
+}
+
+func BenchmarkE26Randomized(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E26Randomized)
+}
+
+func BenchmarkE27KPortSweep(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E27KPortSweep)
+}
+
+// --- pipeline stage benchmarks ---
+
+// randomLabeledTree builds a labelled random tree of n vertices.
+func randomLabeledTree(b *testing.B, n int) *spantree.Labeled {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	g := graph.RandomTree(rng, n)
+	tr, err := spantree.BFSTree(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spantree.Label(tr)
+}
+
+func BenchmarkStageMinDepthTree(b *testing.B) {
+	// The O(mn) step of Section 3.1: n BFS traversals.
+	for _, n := range []int{64, 128, 256} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		g := graph.RandomConnected(rng, n, 0.05)
+		b.Run(fmt.Sprintf("n=%d/m=%d", n, g.M()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := spantree.MinDepth(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStageDFSLabel(b *testing.B) {
+	for _, n := range []int{1024, 8192, 65536} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		g := graph.RandomTree(rng, n)
+		tr, err := spantree.BFSTree(g, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				spantree.Label(tr)
+			}
+		})
+	}
+}
+
+func BenchmarkStageBuildConcurrentUpDown(b *testing.B) {
+	// The O(n) schedule construction per vertex; the whole build is O(n^2)
+	// in emitted transmissions (each of n messages crosses each level once).
+	for _, n := range []int{128, 512, 1024} {
+		l := randomLabeledTree(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.BuildConcurrentUpDown(l)
+			}
+		})
+	}
+}
+
+func BenchmarkStageBuildSimple(b *testing.B) {
+	for _, n := range []int{128, 512, 1024} {
+		l := randomLabeledTree(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.BuildSimple(l)
+			}
+		})
+	}
+}
+
+func BenchmarkStageGreedyUpDown(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		l := randomLabeledTree(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.GreedyUpDown(l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStageValidate(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		l := randomLabeledTree(b, n)
+		s := core.BuildConcurrentUpDown(l)
+		g := l.T.Graph()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := schedule.CheckGossip(g, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStageTelephoneGossip(b *testing.B) {
+	for _, n := range []int{32, 64} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		g := graph.RandomConnected(rng, n, 0.1)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.TelephoneGossip(g, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStageOnlineRun(b *testing.B) {
+	// Goroutine-per-processor distributed execution.
+	for _, n := range []int{64, 256} {
+		l := randomLabeledTree(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := online.Run(l, online.NewConcurrentUpDown(l), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStageEndToEnd(b *testing.B) {
+	// Full pipeline on a random connected graph: min-depth tree + label +
+	// build, amortised over many gossip executions in practice.
+	for _, n := range []int{64, 128} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		g := graph.RandomConnected(rng, n, 0.08)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Gossip(g, core.ConcurrentUpDown); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStageStreamGenerator(b *testing.B) {
+	// O(n)-memory streaming of the full schedule; reported per schedule.
+	for _, n := range []int{1024, 4096} {
+		l := randomLabeledTree(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := stream.Verify(l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,149 @@
+// Command gossip builds and inspects gossip communication schedules under
+// the multicasting model from the command line.
+//
+// Examples:
+//
+//	gossip -topology ring -n 16                     # plan + summary
+//	gossip -topology fig4 -show tree                # Fig. 5 spanning tree
+//	gossip -topology fig4 -show table -vertex 4     # paper's Table 3
+//	gossip -topology mesh -rows 4 -cols 5 -show rounds
+//	gossip -topology sensor -n 50 -radio 0.2 -algo simple -show stats
+//	gossip -topology random -n 24 -p 0.1 -show dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multigossip"
+	"multigossip/internal/cliutil"
+)
+
+func main() {
+	var (
+		topology = flag.String("topology", "ring", cliutil.Topologies)
+		n        = flag.Int("n", 16, "processor count (line/ring/star/complete/random/sensor/tree)")
+		rows     = flag.Int("rows", 4, "mesh/torus rows")
+		cols     = flag.Int("cols", 4, "mesh/torus columns")
+		dim      = flag.Int("d", 4, "hypercube dimension")
+		p        = flag.Float64("p", 0.1, "random network edge probability")
+		radio    = flag.Float64("radio", 0.2, "sensor field radio range")
+		seed     = flag.Int64("seed", 1, "random topology seed")
+		file     = flag.String("file", "", "edge-list file for -topology custom")
+		algo     = flag.String("algo", "cud", "cud (ConcurrentUpDown, n+r) | simple (2n+r-3)")
+		op       = flag.String("op", "gossip", "gossip | broadcast | gather | scatter (source/target via -vertex)")
+		show     = flag.String("show", "summary", "summary|rounds|tree|table|stats|dot|json")
+		vertex   = flag.Int("vertex", 0, "processor for -show table")
+	)
+	flag.Parse()
+
+	nw, err := cliutil.Build(*topology, cliutil.Params{
+		N: *n, Rows: *rows, Cols: *cols, Dim: *dim,
+		P: *p, Radio: *radio, Seed: *seed, File: *file,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	if *op != "gossip" {
+		runCollective(nw, *op, *vertex)
+		return
+	}
+
+	opt := multigossip.WithAlgorithm(multigossip.ConcurrentUpDown)
+	switch strings.ToLower(*algo) {
+	case "cud", "concurrentupdown":
+	case "simple":
+		opt = multigossip.WithAlgorithm(multigossip.Simple)
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	plan, err := nw.PlanGossip(opt)
+	if err != nil {
+		fail(err)
+	}
+	if err := plan.Verify(); err != nil {
+		fail(fmt.Errorf("internal error: produced schedule failed verification: %w", err))
+	}
+
+	switch *show {
+	case "summary":
+		fmt.Printf("topology=%s processors=%d links=%d radius=%d\n",
+			*topology, nw.Processors(), nw.Links(), nw.Radius())
+		fmt.Printf("algorithm=%s rounds=%d lowerBound=%d\n", *algo, plan.Rounds(), nw.LowerBound())
+		fmt.Println("schedule verified: every processor receives all messages")
+	case "rounds":
+		for t := 0; t < plan.Rounds(); t++ {
+			fmt.Printf("t=%d:", t)
+			for _, tx := range plan.Round(t) {
+				fmt.Printf(" %d->%v:m%d", tx.From, tx.To, tx.Message)
+			}
+			fmt.Println()
+		}
+	case "tree":
+		fmt.Print(plan.TreeString())
+	case "table":
+		if *vertex < 0 || *vertex >= nw.Processors() {
+			fail(fmt.Errorf("vertex %d out of range", *vertex))
+		}
+		fmt.Print(plan.TimetableOf(*vertex))
+	case "stats":
+		fmt.Println(plan.Stats())
+	case "dot":
+		fmt.Print(nw.DOT("gossip"))
+	case "json":
+		text, err := plan.ScheduleJSON()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(text)
+	default:
+		fail(fmt.Errorf("unknown -show %q", *show))
+	}
+}
+
+// runCollective plans the non-gossip operations and prints a summary.
+func runCollective(nw *multigossip.Network, op string, vertex int) {
+	if vertex < 0 || vertex >= nw.Processors() {
+		fail(fmt.Errorf("vertex %d out of range", vertex))
+	}
+	switch strings.ToLower(op) {
+	case "broadcast":
+		plan, err := nw.PlanBroadcast(vertex)
+		if err != nil {
+			fail(err)
+		}
+		if err := plan.Verify(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("broadcast from %d: %d rounds (= eccentricity)\n", vertex, plan.Rounds())
+	case "gather":
+		plan, err := nw.PlanGather(vertex)
+		if err != nil {
+			fail(err)
+		}
+		if err := plan.Verify(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("gather to %d: %d rounds (= n-1, optimal)\n", vertex, plan.Rounds())
+	case "scatter":
+		plan, err := nw.PlanScatter(vertex)
+		if err != nil {
+			fail(err)
+		}
+		if err := plan.Verify(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("scatter from %d: %d rounds (= n-1, optimal)\n", vertex, plan.Rounds())
+	default:
+		fail(fmt.Errorf("unknown -op %q", op))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gossip:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+package multigossip
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestPlanGatherScatter(t *testing.T) {
+	nw := Mesh(4, 4)
+	for v := 0; v < nw.Processors(); v += 5 {
+		ga, err := nw.PlanGather(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ga.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		if ga.Rounds() != nw.Processors()-1 {
+			t.Fatalf("gather rounds %d, want %d", ga.Rounds(), nw.Processors()-1)
+		}
+		sc, err := nw.PlanScatter(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		if sc.Rounds() != ga.Rounds() {
+			t.Fatalf("scatter rounds %d != gather rounds %d", sc.Rounds(), ga.Rounds())
+		}
+	}
+	if _, err := NewNetwork(2).PlanGather(0); err == nil {
+		t.Fatal("gather accepted disconnected network")
+	}
+}
+
+func TestPlanMulticasts(t *testing.T) {
+	nw := Hypercube(4)
+	batch := []Multicast{
+		{Origin: 0, Dests: []int{1, 2, 4, 8, 15}},
+		{Origin: 5, Dests: []int{10}},
+		{Origin: 7, Dests: []int{0, 3, 12}},
+	}
+	plan, err := nw.PlanMulticasts(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rounds() < plan.LowerBound() {
+		t.Fatalf("rounds %d below lower bound %d", plan.Rounds(), plan.LowerBound())
+	}
+	if _, err := nw.PlanMulticasts(nil); err == nil {
+		t.Fatal("accepted empty batch")
+	}
+	if _, err := nw.PlanMulticasts([]Multicast{{Origin: 99, Dests: []int{1}}}); err == nil {
+		t.Fatal("accepted out-of-range origin")
+	}
+}
+
+func TestPlanScheduleJSON(t *testing.T) {
+	plan, err := Ring(6).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := plan.ScheduleJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, `"version":1`) || !strings.Contains(text, `"sends":[`) {
+		t.Fatalf("JSON malformed: %s", text[:80])
+	}
+	var decoded struct {
+		Processors int `json:"processors"`
+		Time       int `json:"time"`
+	}
+	if err := json.Unmarshal([]byte(text), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Processors != 6 || decoded.Time != plan.Rounds() {
+		t.Fatalf("decoded %+v, want n=6 time=%d", decoded, plan.Rounds())
+	}
+}

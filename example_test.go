@@ -1,0 +1,90 @@
+package multigossip_test
+
+import (
+	"fmt"
+
+	"multigossip"
+)
+
+// The package-level example mirrors the paper's headline result: planning
+// gossip on any connected network finishes in exactly n + r rounds.
+func Example() {
+	nw := multigossip.Ring(8)
+	plan, err := nw.PlanGossip()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rounds:", plan.Rounds())
+	fmt.Println("verified:", plan.Verify() == nil)
+	// Output:
+	// rounds: 12
+	// verified: true
+}
+
+func ExampleNetwork_PlanGossip() {
+	// Build a custom network: a 4-processor path.
+	nw := multigossip.NewNetwork(4)
+	nw.AddLink(0, 1)
+	nw.AddLink(1, 2)
+	nw.AddLink(2, 3)
+	plan, err := nw.PlanGossip()
+	if err != nil {
+		panic(err)
+	}
+	// n + r = 4 + 2.
+	fmt.Println(plan.Rounds())
+	// Output: 6
+}
+
+func ExampleNetwork_PlanGossip_simple() {
+	plan, err := multigossip.Line(9).PlanGossip(multigossip.WithAlgorithm(multigossip.Simple))
+	if err != nil {
+		panic(err)
+	}
+	// Lemma 1: 2n + r - 3 = 18 + 4 - 3.
+	fmt.Println(plan.Rounds())
+	// Output: 19
+}
+
+func ExampleNetwork_PlanBroadcast() {
+	bp, err := multigossip.Mesh(3, 3).PlanBroadcast(0)
+	if err != nil {
+		panic(err)
+	}
+	// The corner's eccentricity in a 3x3 mesh.
+	fmt.Println(bp.Rounds())
+	// Output: 4
+}
+
+func ExamplePlanOptimalLine() {
+	plan, err := multigossip.PlanOptimalLine(4) // the 9-processor line
+	if err != nil {
+		panic(err)
+	}
+	// n + r - 1 = 9 + 4 - 1: one round better than the uniform algorithm.
+	fmt.Println(plan.Rounds())
+	// Output: 12
+}
+
+func ExampleNetwork_PlanGather() {
+	ga, err := multigossip.Star(6).PlanGather(0)
+	if err != nil {
+		panic(err)
+	}
+	// The hub absorbs one message per round: n - 1 rounds.
+	fmt.Println(ga.Rounds())
+	// Output: 5
+}
+
+func ExampleNetwork_PlanMulticasts() {
+	nw := multigossip.Ring(6)
+	plan, err := nw.PlanMulticasts([]multigossip.Multicast{
+		{Origin: 0, Dests: []int{2, 3}},
+		{Origin: 4, Dests: []int{1}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan.Verify() == nil, plan.Rounds() >= plan.LowerBound())
+	// Output: true true
+}

@@ -1,0 +1,43 @@
+// Linegraph: the paper's lower-bound instance (Sections 1 and 4).
+//
+// On the straight line with n = 2m+1 processors, the centre can absorb the
+// n messages no earlier than time n - 1, and the last one still needs m
+// more hops to the ends, so every schedule takes at least n + r - 1 rounds.
+// ConcurrentUpDown delivers n + r — one round from optimal, and the paper
+// notes that closing the gap requires a non-uniform protocol. This example
+// sweeps m and prints the gap, then shows the Table-1-style timetable of
+// the centre processor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multigossip"
+)
+
+func main() {
+	fmt.Println("   m      n      r   lower(n+r-1)   ConcurrentUpDown   gap")
+	for _, m := range []int{1, 2, 4, 8, 16, 64, 256} {
+		n := 2*m + 1
+		nw := multigossip.Line(n)
+		plan, err := nw.PlanGossip()
+		if err != nil {
+			log.Fatal(err)
+		}
+		lower := n + m - 1
+		fmt.Printf("%4d  %5d  %5d  %13d  %17d  %4d\n",
+			m, n, plan.Radius(), lower, plan.Rounds(), plan.Rounds()-lower)
+	}
+
+	// The centre of the 9-processor line is the spanning tree root: watch
+	// it absorb messages at full receive rate, the bottleneck the lower
+	// bound argument is built on.
+	nw := multigossip.Line(9)
+	plan, err := nw.PlanGossip()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntimetable of the centre processor (vertex 4) on the 9-line:")
+	fmt.Print(plan.TimetableOf(4))
+}

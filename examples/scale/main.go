@@ -1,0 +1,50 @@
+// Scale: planning gossip for networks far beyond what a materialised
+// schedule allows.
+//
+// A gossip schedule is a Θ(n²) object — at n = 50,000 that is 2.5 billion
+// deliveries, hundreds of gigabytes materialised. But the paper's
+// construction is closed-form per vertex, so the schedule can be generated
+// and verified as a stream with O(n) state. This example plans gossip for
+// a 5,000-sensor field tree, streaming and count-verifying every round,
+// and reports what the same machinery costs at larger n (pure arithmetic:
+// rounds = n + r; deliveries = n(n-1)).
+//
+// The spanning tree uses the O(m) double-sweep construction (exact on
+// trees) instead of the paper's O(mn) exhaustive search, which would
+// dominate at this scale.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"multigossip"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(12))
+	n := 5000
+	nw := multigossip.RandomTreeNetwork(rng, n)
+
+	start := time.Now()
+	sum, err := nw.GossipStreamSummary(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("network: random tree, n = %d\n", sum.Processors)
+	fmt.Printf("spanning tree height (= radius, exact on trees): %d\n", sum.TreeHeight)
+	fmt.Printf("schedule streamed & count-verified in %v:\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  rounds        %d  (n + r)\n", sum.Rounds)
+	fmt.Printf("  transmissions %d\n", sum.Transmissions)
+	fmt.Printf("  deliveries    %d  (= n(n-1): every processor receives every message exactly once)\n", sum.Deliveries)
+	fmt.Printf("  max fanout    %d\n", sum.MaxFanout)
+
+	fmt.Println("\nthe same plan at larger n (closed form; the stream scales linearly in deliveries):")
+	for _, big := range []int{20_000, 100_000, 1_000_000} {
+		fmt.Printf("  n = %9d: rounds ~ n + r, deliveries = %d\n", big, big*(big-1))
+	}
+}

@@ -1,0 +1,3 @@
+module multigossip
+
+go 1.22

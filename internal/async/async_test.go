@@ -1,0 +1,111 @@
+package async
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"multigossip/internal/core"
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+func schedulesFor(t *testing.T, g *graph.Graph) (cud, simple *schedule.Schedule) {
+	t.Helper()
+	tr, err := spantree.MinDepth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builders := core.GossipOnTree(tr)
+	return builders[core.ConcurrentUpDown]().Schedule, builders[core.Simple]().Schedule
+}
+
+func TestMakespanDeterministicNoJitter(t *testing.T) {
+	cudS, simpleS := schedulesFor(t, graph.Grid(4, 4))
+	rng := rand.New(rand.NewSource(1))
+	model := UniformJitter{Base: 1, Jitter: 0}
+	cud, err := Makespan(cudS, model, 0.5, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every round costs exactly base + barrier.
+	want := 1.5 * float64(cudS.Time())
+	if math.Abs(cud.Makespan-want) > 1e-9 {
+		t.Fatalf("makespan %v, want %v", cud.Makespan, want)
+	}
+	simple, err := Makespan(simpleS, model, 0.5, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simple.Makespan <= cud.Makespan {
+		t.Fatalf("Simple (%v) should cost more than CUD (%v) without jitter", simple.Makespan, cud.Makespan)
+	}
+	ratio := simple.Makespan / cud.Makespan
+	wantRatio := float64(simpleS.Time()) / float64(cudS.Time())
+	if math.Abs(ratio-wantRatio) > 1e-9 {
+		t.Fatalf("ratio %v, want round ratio %v", ratio, wantRatio)
+	}
+}
+
+func TestMakespanJitterIncreasesCost(t *testing.T) {
+	cudS, _ := schedulesFor(t, graph.Star(24))
+	rng := rand.New(rand.NewSource(2))
+	flat, err := Makespan(cudS, UniformJitter{Base: 1, Jitter: 0}, 0, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jittered, err := Makespan(cudS, UniformJitter{Base: 1, Jitter: 1}, 0, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jittered.Makespan <= flat.Makespan {
+		t.Fatalf("jitter did not increase makespan: %v vs %v", jittered.Makespan, flat.Makespan)
+	}
+	// Max of several uniforms concentrates near the top: per-round mean
+	// should exceed base + half-jitter on multi-transmission rounds.
+	if jittered.MeanRound <= 1.5 {
+		t.Fatalf("mean round %v suspiciously low under jitter", jittered.MeanRound)
+	}
+}
+
+func TestMakespanDegreeProportionalPenalisesFanout(t *testing.T) {
+	cudS, _ := schedulesFor(t, graph.Star(16))
+	rng := rand.New(rand.NewSource(3))
+	cheap, err := Makespan(cudS, DegreeProportional{Base: 1, PerDest: 0}, 0, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := Makespan(cudS, DegreeProportional{Base: 1, PerDest: 0.5}, 0, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costly.Makespan <= cheap.Makespan {
+		t.Fatalf("per-destination cost had no effect: %v vs %v", costly.Makespan, cheap.Makespan)
+	}
+}
+
+func TestMakespanRejectsBadInput(t *testing.T) {
+	s := schedule.New(2)
+	rng := rand.New(rand.NewSource(4))
+	if _, err := Makespan(s, nil, 0, 1, rng); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Makespan(s, UniformJitter{Base: 1}, 0, 0, rng); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := Makespan(s, UniformJitter{Base: 1}, -1, 1, rng); err == nil {
+		t.Error("negative barrier accepted")
+	}
+}
+
+func TestMakespanEmptySchedule(t *testing.T) {
+	s := schedule.New(3)
+	res, err := Makespan(s, UniformJitter{Base: 1}, 1, 2, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 0 || res.Rounds != 0 {
+		t.Fatalf("empty schedule has makespan %v over %d rounds", res.Makespan, res.Rounds)
+	}
+}

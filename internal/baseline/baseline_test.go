@@ -1,0 +1,259 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"multigossip/internal/core"
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+func TestRingRotationOptimal(t *testing.T) {
+	for _, n := range []int{3, 4, 8, 33} {
+		g := graph.Cycle(n)
+		circuit := make([]int, n)
+		for i := range circuit {
+			circuit[i] = i
+		}
+		s, err := RingRotation(g, circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Time() != n-1 {
+			t.Fatalf("n=%d: time %d, want %d", n, s.Time(), n-1)
+		}
+		if _, err := schedule.CheckGossip(g, s); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestRingRotationOnFoundCircuit(t *testing.T) {
+	// Graphs where the circuit must be discovered first.
+	for _, g := range []*graph.Graph{graph.Complete(6), graph.Wheel(7), graph.Hypercube(3), graph.Torus(3, 4)} {
+		circuit, ok := graph.HamiltonianCircuit(g, 0)
+		if !ok {
+			t.Fatalf("%v: no Hamiltonian circuit found", g)
+		}
+		s, err := RingRotation(g, circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := schedule.CheckGossip(g, s); err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if s.Time() != g.N()-1 {
+			t.Fatalf("%v: time %d, want %d", g, s.Time(), g.N()-1)
+		}
+	}
+}
+
+func TestRingRotationRejectsBadCircuits(t *testing.T) {
+	g := graph.Cycle(5)
+	cases := [][]int{
+		{0, 1, 2, 3},    // too short
+		{0, 1, 2, 3, 3}, // repeated vertex
+		{0, 1, 2, 4, 3}, // 2-4 is not an edge
+		{0, 1, 2, 3, 7}, // out of range
+		{0, 2, 4, 1, 3}, // chords, not edges
+	}
+	for _, circuit := range cases {
+		if _, err := RingRotation(g, circuit); err == nil {
+			t.Errorf("circuit %v accepted", circuit)
+		}
+	}
+}
+
+func TestHamiltonianCircuitSearch(t *testing.T) {
+	if _, ok := graph.HamiltonianCircuit(graph.Petersen(), 0); ok {
+		t.Error("Petersen graph reported Hamiltonian (it is famously not)")
+	}
+	if _, ok := graph.HamiltonianCircuit(graph.N3StandIn(), 0); ok {
+		t.Error("K_{2,3} reported Hamiltonian")
+	}
+	if _, ok := graph.HamiltonianCircuit(graph.Path(5), 0); ok {
+		t.Error("path reported Hamiltonian")
+	}
+	if _, ok := graph.HamiltonianCircuit(graph.Star(6), 0); ok {
+		t.Error("star reported Hamiltonian")
+	}
+	if c, ok := graph.HamiltonianCircuit(graph.Cycle(9), 0); !ok || len(c) != 9 {
+		t.Error("cycle not recognised as Hamiltonian")
+	}
+}
+
+func TestBroadcastMatchesEccentricity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	graphs := []*graph.Graph{
+		graph.Path(9), graph.Star(10), graph.Grid(4, 5), graph.Petersen(),
+		graph.RandomConnected(rng, 40, 0.1),
+	}
+	for _, g := range graphs {
+		for src := 0; src < g.N(); src += 3 {
+			s, err := Broadcast(g, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := g.Eccentricity(src); s.Time() != want {
+				t.Fatalf("%v src=%d: time %d, want ecc %d", g, src, s.Time(), want)
+			}
+			// Validate the model and that everyone got message src.
+			res, err := schedule.Run(g, s, schedule.Options{RequireUseful: true})
+			if err != nil {
+				t.Fatalf("%v src=%d: %v", g, src, err)
+			}
+			for p, h := range res.Holds {
+				if !h.Has(src) {
+					t.Fatalf("%v src=%d: processor %d never informed", g, src, p)
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastDisconnected(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	if _, err := Broadcast(g, 0); err == nil {
+		t.Fatal("Broadcast accepted disconnected graph")
+	}
+}
+
+func TestTelephoneGossipCompletesAndIsUnicast(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	graphs := []*graph.Graph{
+		graph.Path(7), graph.Cycle(8), graph.Star(9), graph.Complete(6),
+		graph.Petersen(), graph.Grid(3, 4), graph.RandomConnected(rng, 24, 0.15),
+	}
+	for _, g := range graphs {
+		s, err := TelephoneGossip(g, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if _, err := schedule.CheckGossip(g, s); err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		for _, round := range s.Rounds {
+			for _, tx := range round {
+				if len(tx.To) != 1 {
+					t.Fatalf("%v: multicast of size %d under the telephone model", g, len(tx.To))
+				}
+			}
+		}
+		if s.Time() < g.N()-1 {
+			t.Fatalf("%v: time %d beats the n-1 lower bound", g, s.Time())
+		}
+	}
+}
+
+func TestTelephoneGossipRejectsBadInput(t *testing.T) {
+	if _, err := TelephoneGossip(graph.New(0), 0); err == nil {
+		t.Fatal("accepted empty graph")
+	}
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	if _, err := TelephoneGossip(g, 0); err == nil {
+		t.Fatal("accepted disconnected graph")
+	}
+	if _, err := TelephoneGossip(graph.Path(30), 3); err == nil {
+		t.Fatal("did not report exceeding the round cap")
+	}
+}
+
+// TestTelephoneStarSeparation quantifies the paper's Section 2 claim that
+// multicasting communicates much faster: on a star the hub can multicast,
+// so ConcurrentUpDown finishes in n + 1 rounds, while under the telephone
+// model every delivery to a leaf is a hub unicast (leaves have no other
+// neighbours) and each of the n-1 leaves needs n-1 messages, forcing at
+// least (n-1)^2 rounds.
+func TestTelephoneStarSeparation(t *testing.T) {
+	for _, n := range []int{6, 12, 24} {
+		g := graph.Star(n)
+		tel, err := TelephoneGossip(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cud, err := core.Gossip(g, core.ConcurrentUpDown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cud.Schedule.Time() != n+1 {
+			t.Fatalf("n=%d: CUD time %d, want %d", n, cud.Schedule.Time(), n+1)
+		}
+		if want := (n - 1) * (n - 1); tel.Time() < want {
+			t.Fatalf("n=%d: telephone time %d below star lower bound %d", n, tel.Time(), want)
+		}
+		if tel.Time() <= cud.Schedule.Time() {
+			t.Fatalf("n=%d: telephone (%d) not slower than multicast (%d)", n, tel.Time(), cud.Schedule.Time())
+		}
+	}
+}
+
+func TestGreedyUpDownBetweenBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	trees := []*graph.Graph{
+		graph.Path(9), graph.Star(10), graph.KAryTree(15, 2), graph.Caterpillar(5, 2),
+		graph.RandomTree(rng, 30), graph.RandomTree(rng, 61),
+	}
+	trees = append(trees, spantree.MustFromParents(graph.Fig5TreeParents()).Graph())
+	for _, g := range trees {
+		tr, err := spantree.MinDepth(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := spantree.Label(tr)
+		s, err := GreedyUpDown(l)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if _, err := schedule.CheckGossip(l.T.Graph(), s); err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		n, r := g.N(), tr.Height
+		if s.Time() < n-1 {
+			t.Fatalf("%v: time %d beats the n-1 lower bound", g, s.Time())
+		}
+		if simple := core.SimpleTime(n, r); s.Time() > simple {
+			t.Fatalf("%v: greedy up-down time %d exceeds Simple's %d", g, s.Time(), simple)
+		}
+	}
+}
+
+func TestGreedyUpDownExhaustiveSmall(t *testing.T) {
+	maxN := 6
+	if testing.Short() {
+		maxN = 5
+	}
+	for n := 2; n <= maxN; n++ {
+		graph.AllTrees(n, func(g *graph.Graph) bool {
+			for root := 0; root < n; root++ {
+				tr, err := spantree.BFSTree(g, root)
+				if err != nil {
+					t.Fatal(err)
+				}
+				l := spantree.Label(tr)
+				s, err := GreedyUpDown(l)
+				if err != nil {
+					t.Fatalf("n=%d root=%d %v: %v", n, root, g, err)
+				}
+				if _, err := schedule.CheckGossip(l.T.Graph(), s); err != nil {
+					t.Fatalf("n=%d root=%d %v: %v", n, root, g, err)
+				}
+				if s.Time() < n-1 {
+					t.Fatalf("n=%d root=%d %v: greedy time %d beats the n-1 lower bound", n, root, g, s.Time())
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestGreedyUpDownTrivial(t *testing.T) {
+	one := spantree.Label(spantree.MustFromParents([]int{-1}))
+	s, err := GreedyUpDown(one)
+	if err != nil || s.Time() != 0 {
+		t.Fatalf("n=1: %v time=%d", err, s.Time())
+	}
+}

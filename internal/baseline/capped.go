@@ -1,0 +1,117 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// CappedGossip builds a gossip schedule under a fanout-capped multicast
+// model: each transmission reaches at most fanout destinations. fanout = 1
+// is exactly the telephone model; fanout >= n-1 is the paper's unrestricted
+// multicast. Sweeping the cap interpolates between the two models and
+// shows where the multicast advantage saturates — in wireless terms, how
+// much transmit power (coverage) a round actually needs.
+//
+// The builder is the same round-greedy as TelephoneGossip, extended so
+// that up to fanout-1 further receivers may join an already-committed
+// multicast.
+func CappedGossip(g *graph.Graph, fanout, maxRounds int) (*schedule.Schedule, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: empty network")
+	}
+	if fanout < 1 {
+		return nil, fmt.Errorf("baseline: fanout %d must be >= 1", fanout)
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("baseline: network is disconnected")
+	}
+	if maxRounds <= 0 {
+		maxRounds = n*n + 4
+	}
+	holds := make([]*schedule.Bitset, n)
+	for v := range holds {
+		holds[v] = schedule.NewBitset(n)
+		holds[v].Set(v)
+	}
+	remaining := n * (n - 1)
+	s := schedule.New(n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for t := 0; remaining > 0; t++ {
+		if t >= maxRounds {
+			return nil, fmt.Errorf("baseline: capped gossip (fanout %d) did not finish within %d rounds", fanout, maxRounds)
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return holds[order[a]].Count() < holds[order[b]].Count()
+		})
+		senderMsg := make([]int, n) // -1 = not sending
+		senderLoad := make([]int, n)
+		for i := range senderMsg {
+			senderMsg[i] = -1
+		}
+		type pick struct{ msg, from, to int }
+		var picks []pick
+		busyRecv := make([]bool, n)
+		for _, v := range order {
+			if busyRecv[v] || holds[v].Full() {
+				continue
+			}
+			bestU, bestMsg, bestScore := -1, -1, -1
+			for _, u := range g.Neighbors(v) {
+				if committed := senderMsg[u]; committed != -1 {
+					// Join an existing multicast while capacity remains.
+					if senderLoad[u] >= fanout || holds[v].Has(committed) {
+						continue
+					}
+					if score := 2 * n; score > bestScore {
+						bestU, bestMsg, bestScore = u, committed, score
+					}
+					continue
+				}
+				for _, m := range holds[v].Missing() {
+					if holds[u].Has(m) {
+						if score := n; score > bestScore {
+							bestU, bestMsg, bestScore = u, m, score
+						}
+						break
+					}
+				}
+			}
+			if bestU == -1 {
+				continue
+			}
+			senderMsg[bestU] = bestMsg
+			senderLoad[bestU]++
+			busyRecv[v] = true
+			picks = append(picks, pick{bestMsg, bestU, v})
+		}
+		if len(picks) == 0 {
+			return nil, fmt.Errorf("baseline: capped gossip stalled at round %d", t)
+		}
+		bySender := make(map[int][]int)
+		for _, p := range picks {
+			bySender[p.from] = append(bySender[p.from], p.to)
+		}
+		senders := make([]int, 0, len(bySender))
+		for u := range bySender {
+			senders = append(senders, u)
+		}
+		sort.Ints(senders)
+		for _, u := range senders {
+			s.AddSend(t, senderMsg[u], u, bySender[u]...)
+			for _, d := range bySender[u] {
+				if !holds[d].Has(senderMsg[u]) {
+					holds[d].Set(senderMsg[u])
+					remaining--
+				}
+			}
+		}
+	}
+	return s, nil
+}

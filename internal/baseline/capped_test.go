@@ -1,0 +1,99 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+func TestCappedGossipValidAcrossFanouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	graphs := []*graph.Graph{
+		graph.Star(10), graph.Path(8), graph.Grid(3, 4),
+		graph.RandomConnected(rng, 20, 0.15),
+	}
+	for _, g := range graphs {
+		for _, fanout := range []int{1, 2, 3, g.N()} {
+			s, err := CappedGossip(g, fanout, 0)
+			if err != nil {
+				t.Fatalf("%v fanout=%d: %v", g, fanout, err)
+			}
+			if _, err := schedule.CheckGossip(g, s); err != nil {
+				t.Fatalf("%v fanout=%d: %v", g, fanout, err)
+			}
+			for _, round := range s.Rounds {
+				for _, tx := range round {
+					if len(tx.To) > fanout {
+						t.Fatalf("%v fanout=%d: transmission with %d destinations", g, fanout, len(tx.To))
+					}
+				}
+			}
+			if s.Time() < g.N()-1 {
+				t.Fatalf("%v fanout=%d: beats the n-1 lower bound", g, fanout)
+			}
+		}
+	}
+}
+
+// TestCappedFanout1EquivalentToTelephone: the fanout-1 cap is the
+// telephone model — every transmission is a unicast.
+func TestCappedFanout1EquivalentToTelephone(t *testing.T) {
+	g := graph.Star(12)
+	s, err := CappedGossip(g, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, round := range s.Rounds {
+		for _, tx := range round {
+			if len(tx.To) != 1 {
+				t.Fatal("fanout-1 schedule multicasts")
+			}
+		}
+	}
+	// Star lower bound under unicast: (n-1)^2 hub sends.
+	if want := (g.N() - 1) * (g.N() - 1); s.Time() < want {
+		t.Fatalf("time %d below the star unicast bound %d", s.Time(), want)
+	}
+}
+
+// TestCappedFanoutMonotoneOnStar: on the star the hub is the only useful
+// sender, so total time shrinks essentially in proportion to the cap —
+// the interpolation shape of experiment E22.
+func TestCappedFanoutMonotoneOnStar(t *testing.T) {
+	g := graph.Star(16)
+	prev := 1 << 30
+	for _, fanout := range []int{1, 2, 4, 8, 15} {
+		s, err := CappedGossip(g, fanout, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := schedule.CheckGossip(g, s); err != nil {
+			t.Fatal(err)
+		}
+		if s.Time() > prev {
+			t.Fatalf("fanout %d: time %d worse than smaller cap's %d", fanout, s.Time(), prev)
+		}
+		prev = s.Time()
+	}
+	if prev > 2*g.N() {
+		t.Fatalf("unrestricted cap should approach n + 1, got %d", prev)
+	}
+}
+
+func TestCappedGossipRejectsBadInput(t *testing.T) {
+	if _, err := CappedGossip(graph.New(0), 2, 0); err == nil {
+		t.Error("accepted empty graph")
+	}
+	if _, err := CappedGossip(graph.Path(4), 0, 0); err == nil {
+		t.Error("accepted zero fanout")
+	}
+	d := graph.New(2)
+	if _, err := CappedGossip(d, 1, 0); err == nil {
+		t.Error("accepted disconnected graph")
+	}
+	if _, err := CappedGossip(graph.Path(30), 1, 3); err == nil {
+		t.Error("round cap not enforced")
+	}
+}

@@ -1,0 +1,166 @@
+package baseline
+
+import (
+	"fmt"
+
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+// GreedyUpDown is an operational reconstruction of the two-phase UpDown
+// algorithm of Gonzalez [15] (PDCS 2000), whose full specification is not
+// part of the reproduced text (see DESIGN.md, substitution 3). It keeps the
+// paper's description: all messages pipeline up to the root exactly as in
+// algorithm Simple, while concurrently messages are propagated down; a
+// vertex busy with its up-phase transmissions lets down-bound messages
+// "get stuck" in per-child queues and drains them afterwards.
+//
+// Unlike ConcurrentUpDown there is no lip-message trick, so the down
+// stream conflicts with the up stream and loses slots at every level. The
+// measured total time consistently falls between ConcurrentUpDown's n + r
+// and Simple's 2n + r - 3, which is the qualitative behaviour the paper
+// reports for [15] (phase one n - 1 + r, phase two 2(r-1) + 1).
+//
+// The input is a DFS-labelled tree; the output schedule uses canonical
+// label identifiers (wrap with core.RemapToOriginal for original ids).
+func GreedyUpDown(l *spantree.Labeled) (*schedule.Schedule, error) {
+	t := l.T
+	n := l.N()
+	s := schedule.New(n)
+	if n <= 1 {
+		return s, nil
+	}
+
+	// Fixed up phase, identical to Simple: non-root v at level k relays
+	// message m of its interval [i..j] to its parent at time m - k, and
+	// receives messages i+1..j from its children at times i+1-k .. j-k.
+	upSendLo := make([]int, n) // v sends up during [upSendLo, upSendHi]
+	upSendHi := make([]int, n)
+	upRecvLo := make([]int, n) // v receives from children during [lo, hi]
+	upRecvHi := make([]int, n)
+	for v := 0; v < n; v++ {
+		k := t.Level[v]
+		i, j := l.Interval(v)
+		upSendLo[v], upSendHi[v] = i-k, j-k
+		if v == t.Root {
+			upSendLo[v], upSendHi[v] = 1, 0 // empty interval
+		}
+		upRecvLo[v], upRecvHi[v] = i+1-k, j-k
+		if t.IsLeaf(v) {
+			upRecvLo[v], upRecvHi[v] = 1, 0
+		}
+		if v != t.Root {
+			for m := i; m <= j; m++ {
+				s.AddSend(m-k, m, v, t.Parent[v])
+			}
+		}
+	}
+	upSending := func(v, time int) bool { return time >= upSendLo[v] && time <= upSendHi[v] }
+	upReceiving := func(v, time int) bool { return time >= upRecvLo[v] && time <= upRecvHi[v] }
+
+	// Down phase state: queue[v][c] is the FIFO of messages vertex v still
+	// owes child index c; entries are appended in availability order, so
+	// serving the most lagging child keeps the multicast sets large.
+	childIndex := make([]map[int]int, n)
+	queues := make([][][]int, n)
+	for v := 0; v < n; v++ {
+		childIndex[v] = make(map[int]int, len(t.Children[v]))
+		queues[v] = make([][]int, len(t.Children[v]))
+		for idx, c := range t.Children[v] {
+			childIndex[v][c] = idx
+		}
+	}
+	pushForChildren := func(v, msg int) {
+		owner := l.Owner(v, msg)
+		for idx, c := range t.Children[v] {
+			if c != owner {
+				queues[v][idx] = append(queues[v][idx], msg)
+			}
+		}
+	}
+
+	holds := make([]*schedule.Bitset, n)
+	for v := range holds {
+		holds[v] = schedule.NewBitset(n)
+		holds[v].Set(v)
+	}
+	remaining := n * (n - 1)
+
+	type delivery struct{ msg, to, from int }
+	maxRounds := 8*n + 16
+	for time := 0; remaining > 0; time++ {
+		if time >= maxRounds {
+			return nil, fmt.Errorf("baseline: greedy up-down did not finish within %d rounds", maxRounds)
+		}
+		var incoming []delivery
+
+		// Record the fixed up-phase deliveries landing at time+1.
+		for v := 0; v < n; v++ {
+			if v != t.Root && upSending(v, time) {
+				m := time + t.Level[v]
+				incoming = append(incoming, delivery{m, t.Parent[v], v})
+			}
+		}
+
+		// b-messages become available for down distribution as they arrive
+		// from the up relay: message m > i reaches vertex v at time
+		// m - level(v); v's own message i is available from time 0.
+		for v := 0; v < n; v++ {
+			if t.IsLeaf(v) {
+				continue
+			}
+			i, j := l.Interval(v)
+			k := t.Level[v]
+			if time == 0 {
+				pushForChildren(v, i)
+			}
+			if m := time + k; m > i && m <= j {
+				pushForChildren(v, m)
+			}
+		}
+
+		// Greedy down multicasts: a vertex free of up-phase sending serves
+		// the child with the longest queue backlog, multicasting that
+		// child's front message to every eligible child expecting it next.
+		for v := 0; v < n; v++ {
+			if t.IsLeaf(v) || upSending(v, time) {
+				continue
+			}
+			bestIdx, bestLen := -1, 0
+			for idx, c := range t.Children[v] {
+				if len(queues[v][idx]) == 0 || upReceiving(c, time+1) {
+					continue
+				}
+				if len(queues[v][idx]) > bestLen {
+					bestIdx, bestLen = idx, len(queues[v][idx])
+				}
+			}
+			if bestIdx == -1 {
+				continue
+			}
+			msg := queues[v][bestIdx][0]
+			var dests []int
+			for idx, c := range t.Children[v] {
+				if len(queues[v][idx]) > 0 && queues[v][idx][0] == msg && !upReceiving(c, time+1) {
+					dests = append(dests, c)
+					queues[v][idx] = queues[v][idx][1:]
+					incoming = append(incoming, delivery{msg, c, v})
+				}
+			}
+			s.AddSend(time, msg, v, dests...)
+		}
+
+		// Apply all deliveries of this round: they are held from time+1 and
+		// o-messages join the receiving vertex's own child queues.
+		for _, d := range incoming {
+			if !holds[d.to].Has(d.msg) {
+				holds[d.to].Set(d.msg)
+				remaining--
+			}
+			if d.from == t.Parent[d.to] && !t.IsLeaf(d.to) {
+				pushForChildren(d.to, d.msg)
+			}
+		}
+	}
+	return s, nil
+}

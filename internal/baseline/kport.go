@@ -1,0 +1,136 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// KPortGossip builds a gossip schedule under the k-port extension of the
+// paper's model: each processor may still multicast one message per round,
+// but may receive up to ports messages per round (the paper fixes ports to
+// one). The receive bottleneck drops from n-1 to ceil((n-1)/ports) rounds,
+// and the sweep in experiment E27 shows total time tracking that bound on
+// dense topologies while distance terms take over on sparse ones.
+//
+// The builder reuses the CappedGossip greedy with ports passes over the
+// receivers per round; validate results with
+// schedule.Options{RecvPorts: ports}.
+func KPortGossip(g *graph.Graph, ports, maxRounds int) (*schedule.Schedule, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: empty network")
+	}
+	if ports < 1 {
+		return nil, fmt.Errorf("baseline: ports %d must be >= 1", ports)
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("baseline: network is disconnected")
+	}
+	if maxRounds <= 0 {
+		maxRounds = n*n + 4
+	}
+	holds := make([]*schedule.Bitset, n)
+	for v := range holds {
+		holds[v] = schedule.NewBitset(n)
+		holds[v].Set(v)
+	}
+	remaining := n * (n - 1)
+	s := schedule.New(n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for t := 0; remaining > 0; t++ {
+		if t >= maxRounds {
+			return nil, fmt.Errorf("baseline: %d-port gossip did not finish within %d rounds", ports, maxRounds)
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return holds[order[a]].Count() < holds[order[b]].Count()
+		})
+		senderMsg := make([]int, n)
+		for i := range senderMsg {
+			senderMsg[i] = -1
+		}
+		recvLoad := make([]int, n)
+		type pick struct{ msg, from, to int }
+		var picks []pick
+		// recvdThisRound[v] tracks the messages already bound for v this
+		// round so a later pass does not fetch a duplicate.
+		recvdThisRound := make([]map[int]bool, n)
+		for pass := 0; pass < ports; pass++ {
+			for _, v := range order {
+				if recvLoad[v] >= ports || holds[v].Full() {
+					continue
+				}
+				bestU, bestMsg := -1, -1
+				for _, u := range g.Neighbors(v) {
+					if committed := senderMsg[u]; committed != -1 {
+						if holds[v].Has(committed) || (recvdThisRound[v] != nil && recvdThisRound[v][committed]) {
+							continue
+						}
+						bestU, bestMsg = u, committed
+						break // joining a multicast is free; take it
+					}
+					for _, m := range holds[v].Missing() {
+						if holds[u].Has(m) && (recvdThisRound[v] == nil || !recvdThisRound[v][m]) {
+							bestU, bestMsg = u, m
+							break
+						}
+					}
+					if bestU != -1 {
+						break
+					}
+				}
+				if bestU == -1 {
+					continue
+				}
+				senderMsg[bestU] = bestMsg
+				recvLoad[v]++
+				if recvdThisRound[v] == nil {
+					recvdThisRound[v] = make(map[int]bool)
+				}
+				recvdThisRound[v][bestMsg] = true
+				picks = append(picks, pick{bestMsg, bestU, v})
+			}
+		}
+		if len(picks) == 0 {
+			return nil, fmt.Errorf("baseline: %d-port gossip stalled at round %d", ports, t)
+		}
+		bySender := make(map[int][]int)
+		for _, p := range picks {
+			bySender[p.from] = append(bySender[p.from], p.to)
+		}
+		senders := make([]int, 0, len(bySender))
+		for u := range bySender {
+			senders = append(senders, u)
+		}
+		sort.Ints(senders)
+		for _, u := range senders {
+			dests := bySender[u]
+			sort.Ints(dests)
+			dests = dedupInts(dests)
+			s.AddSend(t, senderMsg[u], u, dests...)
+			for _, d := range dests {
+				if !holds[d].Has(senderMsg[u]) {
+					holds[d].Set(senderMsg[u])
+					remaining--
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// dedupInts removes adjacent duplicates from a sorted slice.
+func dedupInts(s []int) []int {
+	out := s[:0]
+	for i, x := range s {
+		if i == 0 || x != s[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

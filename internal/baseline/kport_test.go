@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+func checkKPort(t *testing.T, g *graph.Graph, s *schedule.Schedule, ports int) {
+	t.Helper()
+	res, err := schedule.Run(g, s, schedule.Options{RecvPorts: ports})
+	if err != nil {
+		t.Fatalf("%v ports=%d: %v", g, ports, err)
+	}
+	for p, h := range res.Holds {
+		if !h.Full() {
+			t.Fatalf("%v ports=%d: processor %d incomplete", g, ports, p)
+		}
+	}
+}
+
+func TestKPortGossipCompletes(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	graphs := []*graph.Graph{
+		graph.Complete(10), graph.Star(10), graph.Cycle(10), graph.Grid(3, 4),
+		graph.RandomConnected(rng, 18, 0.3),
+	}
+	for _, g := range graphs {
+		for _, ports := range []int{1, 2, 4} {
+			s, err := KPortGossip(g, ports, 0)
+			if err != nil {
+				t.Fatalf("%v ports=%d: %v", g, ports, err)
+			}
+			checkKPort(t, g, s, ports)
+			// The k-port receive bound: ceil((n-1)/ports).
+			lower := (g.N() - 2 + ports) / ports
+			if s.Time() < lower {
+				t.Fatalf("%v ports=%d: time %d beats the receive bound %d", g, ports, s.Time(), lower)
+			}
+		}
+	}
+}
+
+// TestKPortOnePortRespectsBaseModel: ports=1 schedules must pass the
+// strict single-receive validator.
+func TestKPortOnePortRespectsBaseModel(t *testing.T) {
+	g := graph.Complete(8)
+	s, err := KPortGossip(g, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schedule.CheckGossip(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKPortSpeedsUpCompleteGraph: on K_n the receive bottleneck is the
+// whole story, so doubling the ports roughly halves the rounds.
+func TestKPortSpeedsUpCompleteGraph(t *testing.T) {
+	g := graph.Complete(17)
+	prev := 1 << 30
+	for _, ports := range []int{1, 2, 4, 8} {
+		s, err := KPortGossip(g, ports, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkKPort(t, g, s, ports)
+		if s.Time() >= prev && ports > 1 {
+			t.Fatalf("ports=%d: time %d not below previous %d", ports, s.Time(), prev)
+		}
+		prev = s.Time()
+	}
+}
+
+// TestValidatorEnforcesPorts: a 2-port schedule must fail 1-port
+// validation when it actually uses the second port.
+func TestValidatorEnforcesPorts(t *testing.T) {
+	g := graph.Complete(12)
+	s, err := KPortGossip(g, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usesPorts := false
+	seen := make(map[int]int)
+	for _, round := range s.Rounds {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, tx := range round {
+			for _, d := range tx.To {
+				seen[d]++
+				if seen[d] > 1 {
+					usesPorts = true
+				}
+			}
+		}
+	}
+	if !usesPorts {
+		t.Skip("greedy never used a second port on this instance")
+	}
+	if _, err := schedule.Run(g, s, schedule.Options{}); err == nil {
+		t.Fatal("1-port validator accepted a multi-port schedule")
+	}
+	if _, err := schedule.Run(g, s, schedule.Options{RecvPorts: 2}); err == nil {
+		// Might legitimately pass if only two ports were ever used; ensure
+		// 3 ports always passes instead.
+		t.Log("schedule fits within 2 ports")
+	}
+	if _, err := schedule.Run(g, s, schedule.Options{RecvPorts: 3}); err != nil {
+		t.Fatalf("3-port validation failed: %v", err)
+	}
+}
+
+func TestKPortRejectsBadInput(t *testing.T) {
+	if _, err := KPortGossip(graph.New(0), 1, 0); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := KPortGossip(graph.Path(4), 0, 0); err == nil {
+		t.Error("zero ports accepted")
+	}
+	d := graph.New(2)
+	if _, err := KPortGossip(d, 1, 0); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}

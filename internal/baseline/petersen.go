@@ -1,0 +1,59 @@
+package baseline
+
+import (
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// PetersenNineRounds constructs an explicit 9-round telephone-model gossip
+// schedule on the Petersen graph (vertex layout of graph.Petersen: outer
+// cycle 0..4, inner pentagram 5..9, spokes i — i+5). This certifies the
+// paper's Fig. 2 claim that gossiping on the Petersen graph completes in
+// n - 1 = 9 steps "even under the telephone communication model", which
+// randomized search does not reliably recover.
+//
+// The construction exploits the graph's 2-factor into the outer 5-cycle
+// and the inner pentagram:
+//
+//	rounds 0-3: rotate along both 5-cycles — after four rounds every outer
+//	            vertex holds all five outer messages and every inner vertex
+//	            all five inner messages;
+//	round 4:    every spoke exchanges the endpoints' own messages in both
+//	            directions (each vertex sends one and receives one);
+//	rounds 5-8: rotate again, circulating the five cross messages around
+//	            each cycle.
+//
+// Every vertex receives a new message in every one of the nine rounds —
+// the receive bound n - 1 is met with equality, so the schedule is optimal.
+func PetersenNineRounds() (*schedule.Schedule, error) {
+	s := schedule.New(10)
+	outer := func(i int) int { return ((i % 5) + 5) % 5 }
+	inner := func(i int) int { return outer(i) + 5 }
+
+	// Rounds 0-3: cycle rotations. Outer i passes message (i-t) clockwise;
+	// inner i+5 passes ((i-2t) mod 5)+5 along the pentagram (step +2).
+	for t := 0; t < 4; t++ {
+		for i := 0; i < 5; i++ {
+			s.AddSend(t, outer(i-t), i, outer(i+1))
+			s.AddSend(t, inner(i-2*t), inner(i), inner(i+2))
+		}
+	}
+	// Round 4: spoke exchange of own messages, both directions.
+	for i := 0; i < 5; i++ {
+		s.AddSend(4, i, i, inner(i))
+		s.AddSend(4, inner(i), inner(i), i)
+	}
+	// Rounds 5-8: rotate the cross messages. Outer i circulates inner
+	// messages ((i-(t-5)) mod 5)+5; inner i+5 circulates outer messages
+	// (i-2(t-5)) mod 5.
+	for t := 5; t < 9; t++ {
+		for i := 0; i < 5; i++ {
+			s.AddSend(t, inner(i-(t-5)), i, outer(i+1))
+			s.AddSend(t, outer(i-2*(t-5)), inner(i), inner(i+2))
+		}
+	}
+	if _, err := schedule.CheckGossip(graph.Petersen(), s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

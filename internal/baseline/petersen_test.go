@@ -1,0 +1,48 @@
+package baseline
+
+import (
+	"testing"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// TestPetersenNineRounds certifies the paper's strongest Fig. 2 claim:
+// a 9-round (= n - 1, optimal) gossip schedule on the Petersen graph that
+// uses only telephone-model unicasts.
+func TestPetersenNineRounds(t *testing.T) {
+	s, err := PetersenNineRounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Time() != 9 {
+		t.Fatalf("time %d, want 9 = n - 1", s.Time())
+	}
+	res, err := schedule.Run(graph.Petersen(), s, schedule.Options{RequireUseful: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, h := range res.Holds {
+		if !h.Full() {
+			t.Fatalf("vertex %d missing %v", v, h.Missing())
+		}
+	}
+	// Strictly telephone: every transmission is a unicast, and the receive
+	// bound is met with equality — every vertex receives in every round.
+	recvPerRound := make(map[[2]int]bool)
+	for time, round := range s.Rounds {
+		for _, tx := range round {
+			if len(tx.To) != 1 {
+				t.Fatalf("round %d: multicast of size %d", time, len(tx.To))
+			}
+			recvPerRound[[2]int{time, tx.To[0]}] = true
+		}
+	}
+	for time := 0; time < 9; time++ {
+		for v := 0; v < 10; v++ {
+			if !recvPerRound[[2]int{time, v}] {
+				t.Fatalf("vertex %d idle at round %d — schedule not tight", v, time)
+			}
+		}
+	}
+}

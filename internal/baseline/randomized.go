@@ -1,0 +1,155 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// Randomized uncoordinated gossip, the foil for offline scheduling. The
+// paper cites randomized broadcast (Feige, Peleg, Raghavan, Upfal) as the
+// alternative when no global schedule exists; under this package's model
+// the crucial difference is the receive constraint: when several random
+// pushes target one processor in the same round, only one is received and
+// the rest are lost as collisions. An uncoordinated protocol therefore
+// cannot even express a valid schedule — it is simulated, not scheduled —
+// and the measured completion times quantify what the paper's offline
+// coordination buys.
+
+// PushVariant selects how much a sender knows about its target.
+type PushVariant int
+
+const (
+	// BlindPush sends a uniformly random held message to a uniformly
+	// random neighbour — zero knowledge.
+	BlindPush PushVariant = iota
+	// InformedPush also picks a random neighbour, but sends a random
+	// message that neighbour is actually missing (local state exchange is
+	// assumed free). Collisions still occur.
+	InformedPush
+)
+
+// String returns the variant name.
+func (v PushVariant) String() string {
+	if v == InformedPush {
+		return "InformedPush"
+	}
+	return "BlindPush"
+}
+
+// RandomizedResult summarises one randomized gossip run.
+type RandomizedResult struct {
+	Rounds     int // rounds until every processor held every message
+	Deliveries int // accepted receives
+	Collisions int // transmissions lost to the one-receive rule
+	Useless    int // accepted receives of already-held messages
+}
+
+// RandomizedPush simulates uncoordinated push gossip until completion and
+// returns the run statistics. Each round every processor picks a random
+// neighbour and pushes one message (per the variant); each processor
+// receiving several pushes accepts one uniformly at random. maxRounds
+// (<= 0 for the default 64*n + 64) aborts runaway runs with an error.
+func RandomizedPush(g *graph.Graph, variant PushVariant, rng *rand.Rand, maxRounds int) (RandomizedResult, error) {
+	n := g.N()
+	res := RandomizedResult{}
+	if n == 0 {
+		return res, fmt.Errorf("baseline: empty network")
+	}
+	if !g.IsConnected() {
+		return res, fmt.Errorf("baseline: network is disconnected")
+	}
+	if maxRounds <= 0 {
+		maxRounds = 64*n + 64
+	}
+	holds := make([]*schedule.Bitset, n)
+	for v := range holds {
+		holds[v] = schedule.NewBitset(n)
+		holds[v].Set(v)
+	}
+	remaining := n * (n - 1)
+	type push struct{ msg, from int }
+	inbox := make([][]push, n)
+	for t := 0; remaining > 0; t++ {
+		if t >= maxRounds {
+			return res, fmt.Errorf("baseline: randomized %v gossip incomplete after %d rounds", variant, maxRounds)
+		}
+		for v := range inbox {
+			inbox[v] = inbox[v][:0]
+		}
+		for u := 0; u < n; u++ {
+			nbrs := g.Neighbors(u)
+			if len(nbrs) == 0 {
+				continue
+			}
+			target := nbrs[rng.Intn(len(nbrs))]
+			msg := -1
+			switch variant {
+			case BlindPush:
+				// A uniformly random held message.
+				k := rng.Intn(holds[u].Count())
+				for m := 0; m < n; m++ {
+					if holds[u].Has(m) {
+						if k == 0 {
+							msg = m
+							break
+						}
+						k--
+					}
+				}
+			case InformedPush:
+				var options []int
+				for _, m := range holds[target].Missing() {
+					if holds[u].Has(m) {
+						options = append(options, m)
+					}
+				}
+				if len(options) == 0 {
+					continue // nothing useful to offer this neighbour
+				}
+				msg = options[rng.Intn(len(options))]
+			}
+			if msg >= 0 {
+				inbox[target] = append(inbox[target], push{msg, u})
+			}
+		}
+		for v := 0; v < n; v++ {
+			arrivals := inbox[v]
+			if len(arrivals) == 0 {
+				continue
+			}
+			pick := arrivals[rng.Intn(len(arrivals))]
+			res.Collisions += len(arrivals) - 1
+			res.Deliveries++
+			if holds[v].Has(pick.msg) {
+				res.Useless++
+			} else {
+				holds[v].Set(pick.msg)
+				remaining--
+			}
+		}
+		res.Rounds = t + 1
+	}
+	return res, nil
+}
+
+// RandomizedMean averages RandomizedPush over trials.
+func RandomizedMean(g *graph.Graph, variant PushVariant, rng *rand.Rand, trials, maxRounds int) (meanRounds float64, worst int, err error) {
+	if trials < 1 {
+		return 0, 0, fmt.Errorf("baseline: need at least one trial")
+	}
+	total := 0
+	for i := 0; i < trials; i++ {
+		res, err := RandomizedPush(g, variant, rng, maxRounds)
+		if err != nil {
+			return 0, 0, err
+		}
+		total += res.Rounds
+		if res.Rounds > worst {
+			worst = res.Rounds
+		}
+	}
+	return float64(total) / float64(trials), worst, nil
+}

@@ -1,0 +1,95 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"multigossip/internal/graph"
+)
+
+func TestRandomizedPushCompletes(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	graphs := []*graph.Graph{
+		graph.Cycle(10), graph.Star(10), graph.Complete(8), graph.Grid(3, 4),
+		graph.RandomConnected(rng, 16, 0.25),
+	}
+	for _, g := range graphs {
+		for _, variant := range []PushVariant{BlindPush, InformedPush} {
+			res, err := RandomizedPush(g, variant, rng, 0)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", g, variant, err)
+			}
+			n := g.N()
+			if res.Rounds < n-1 {
+				t.Fatalf("%v/%v: %d rounds beats the n-1 lower bound", g, variant, res.Rounds)
+			}
+			// Every missing pair needs one accepted useful delivery.
+			if useful := res.Deliveries - res.Useless; useful != n*(n-1) {
+				t.Fatalf("%v/%v: %d useful deliveries, want %d", g, variant, useful, n*(n-1))
+			}
+		}
+	}
+}
+
+func TestRandomizedPushSlowerThanScheduled(t *testing.T) {
+	// The headline comparison: on the star, uncoordinated push suffers hub
+	// collisions and blind pushes of useless messages; ConcurrentUpDown
+	// finishes in n + 1.
+	// Blind push on a star is Θ(n² log n): the hub pushes one message to
+	// one random leaf per round, and the message is usually one that leaf
+	// already holds (coupon collector behind a single server). Allow a
+	// generous cap and require at least an order of magnitude over the
+	// scheduled n + 1.
+	g := graph.Star(12)
+	rng := rand.New(rand.NewSource(72))
+	mean, worst, err := RandomizedMean(g, BlindPush, rng, 10, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduled := g.N() + 1 // CUD on a star
+	if mean <= 10*float64(scheduled) {
+		t.Fatalf("blind push mean %.1f not dramatically worse than scheduled %d", mean, scheduled)
+	}
+	if worst < int(mean) {
+		t.Fatalf("worst %d below mean %.1f", worst, mean)
+	}
+}
+
+func TestRandomizedInformedBeatsBlind(t *testing.T) {
+	g := graph.Cycle(14)
+	rng := rand.New(rand.NewSource(73))
+	blind, _, err := RandomizedMean(g, BlindPush, rng, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	informed, _, err := RandomizedMean(g, InformedPush, rng, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if informed >= blind {
+		t.Fatalf("informed push (%.1f) not faster than blind (%.1f)", informed, blind)
+	}
+}
+
+func TestRandomizedPushRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	if _, err := RandomizedPush(graph.New(0), BlindPush, rng, 0); err == nil {
+		t.Error("empty graph accepted")
+	}
+	d := graph.New(2)
+	if _, err := RandomizedPush(d, BlindPush, rng, 0); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+	if _, err := RandomizedPush(graph.Cycle(12), BlindPush, rng, 2); err == nil {
+		t.Error("round cap not enforced")
+	}
+	if _, _, err := RandomizedMean(graph.Cycle(5), BlindPush, rng, 0, 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestPushVariantString(t *testing.T) {
+	if BlindPush.String() != "BlindPush" || InformedPush.String() != "InformedPush" {
+		t.Fatal("variant names wrong")
+	}
+}

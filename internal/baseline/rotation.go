@@ -1,0 +1,78 @@
+// Package baseline implements the comparison algorithms the paper measures
+// its contribution against: the optimal ring rotation on Hamiltonian
+// networks (Fig. 1), gossiping under the restricted telephone model, an
+// operational reconstruction of the two-phase UpDown algorithm of [15], and
+// the trivial multicast broadcast of Section 2.
+package baseline
+
+import (
+	"fmt"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// RingRotation builds the Fig. 1 optimal schedule along a Hamiltonian
+// circuit, given as a sequence of all n vertices in circuit order: in round
+// 0 every processor sends its own message to its clockwise successor, and
+// in every later round it forwards the message it just received. Total
+// communication time n - 1, matching the trivial lower bound. Every
+// consecutive pair in the circuit (and the wrap-around pair) must be an
+// edge of g; that is checked here and again by the schedule validator.
+func RingRotation(g *graph.Graph, circuit []int) (*schedule.Schedule, error) {
+	n := g.N()
+	if len(circuit) != n {
+		return nil, fmt.Errorf("baseline: circuit visits %d of %d vertices", len(circuit), n)
+	}
+	seen := make([]bool, n)
+	for idx, v := range circuit {
+		if v < 0 || v >= n || seen[v] {
+			return nil, fmt.Errorf("baseline: circuit is not a permutation at position %d", idx)
+		}
+		seen[v] = true
+	}
+	for idx, v := range circuit {
+		next := circuit[(idx+1)%n]
+		if !g.HasEdge(v, next) {
+			return nil, fmt.Errorf("baseline: circuit step %d-%d is not an edge", v, next)
+		}
+	}
+	s := schedule.New(n)
+	for t := 0; t < n-1; t++ {
+		for idx, v := range circuit {
+			// In round t, position idx forwards the message that originated
+			// t positions behind it on the circuit.
+			src := circuit[((idx-t)%n+n)%n]
+			s.AddSend(t, src, v, circuit[(idx+1)%n])
+		}
+	}
+	return s, nil
+}
+
+// Broadcast builds the trivial offline broadcast schedule of Section 2:
+// the source multicasts to all its neighbours, and each newly informed
+// processor multicasts to its still-uninformed neighbours, dedup resolved
+// by BFS parenthood. Processor v receives the message exactly at time
+// dist(src, v); the total communication time is the eccentricity of src.
+// The message label is src itself.
+func Broadcast(g *graph.Graph, src int) (*schedule.Schedule, error) {
+	parent, dist := g.BFSParents(src)
+	n := g.N()
+	s := schedule.New(n)
+	children := make([][]int, n)
+	for v := 0; v < n; v++ {
+		if v == src {
+			continue
+		}
+		if dist[v] == graph.Unreachable {
+			return nil, fmt.Errorf("baseline: vertex %d unreachable from broadcast source %d", v, src)
+		}
+		children[parent[v]] = append(children[parent[v]], v)
+	}
+	for v := 0; v < n; v++ {
+		if len(children[v]) > 0 {
+			s.AddSend(dist[v], src, v, children[v]...)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,104 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// TelephoneGossip builds a gossip schedule under the telephone (unicast)
+// communication model: every transmission has exactly one destination. The
+// paper uses this model as the foil that multicasting improves on; the
+// experiments compare its round counts against ConcurrentUpDown.
+//
+// The builder is a round-by-round greedy: receivers are served in order of
+// how many messages they still miss, each taking one new message from the
+// not-yet-busy neighbour that can offer it the most alternatives. On a
+// connected graph at least one useful transfer exists every round, so the
+// construction always terminates — within n-1 to O(n^2) rounds depending
+// on topology; maxRounds (<= 0 for the default n^2+4) is a safety cap.
+func TelephoneGossip(g *graph.Graph, maxRounds int) (*schedule.Schedule, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: empty network")
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("baseline: network is disconnected")
+	}
+	if maxRounds <= 0 {
+		maxRounds = n*n + 4
+	}
+	holds := make([]*schedule.Bitset, n)
+	for v := range holds {
+		holds[v] = schedule.NewBitset(n)
+		holds[v].Set(v)
+	}
+	s := schedule.New(n)
+	complete := func() bool {
+		for _, h := range holds {
+			if !h.Full() {
+				return false
+			}
+		}
+		return true
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for t := 0; !complete(); t++ {
+		if t >= maxRounds {
+			return nil, fmt.Errorf("baseline: telephone gossip did not finish within %d rounds", maxRounds)
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return holds[order[a]].Count() < holds[order[b]].Count()
+		})
+		busySend := make([]bool, n)
+		busyRecv := make([]bool, n)
+		type delivery struct{ msg, to int }
+		var incoming []delivery
+		for _, v := range order {
+			if busyRecv[v] || holds[v].Full() {
+				continue
+			}
+			bestU, bestGain := -1, 0
+			for _, u := range g.Neighbors(v) {
+				if busySend[u] {
+					continue
+				}
+				gain := 0
+				for _, m := range holds[v].Missing() {
+					if holds[u].Has(m) {
+						gain++
+					}
+				}
+				if gain > bestGain {
+					bestU, bestGain = u, gain
+				}
+			}
+			if bestU == -1 {
+				continue
+			}
+			msg := -1
+			for _, m := range holds[v].Missing() {
+				if holds[bestU].Has(m) {
+					msg = m
+					break
+				}
+			}
+			busySend[bestU] = true
+			busyRecv[v] = true
+			s.AddSend(t, msg, bestU, v)
+			incoming = append(incoming, delivery{msg, v})
+		}
+		if len(incoming) == 0 {
+			return nil, fmt.Errorf("baseline: telephone greedy stalled at round %d", t)
+		}
+		for _, d := range incoming {
+			holds[d.to].Set(d.msg)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,135 @@
+// Package collectives builds the collective-communication primitives that
+// the paper's application paragraph motivates ("gossiping arises in many
+// applications that include sorting, matrix multiplication, Discrete
+// Fourier Transform, solving linear equations") on top of the same tree
+// machinery:
+//
+//   - Gather: all n messages accumulate at one processor, in n - 1 rounds
+//     when the target is a tree centre — this is exactly the Propagate-Up
+//     stream of algorithm Simple.
+//   - Scatter: one processor delivers a distinct message to every other
+//     processor. It is constructed by time-reversing the gather schedule,
+//     which is a valid transformation of the communication model (see
+//     Reverse), and completes in the same n - 1 rounds.
+//   - Reduce / AllReduce round counts follow: a reduction is a gather with
+//     on-path combining, and an all-reduce is gossip (every processor ends
+//     with every operand).
+package collectives
+
+import (
+	"fmt"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+// Gather builds a schedule delivering every processor's message to dst.
+// It pipelines messages up the BFS tree rooted at dst in DFS label order
+// (the up phase of algorithm Simple): message with label m arrives at the
+// root exactly at time m, so the last arrives at n - 1, which is optimal —
+// the root can absorb only one message per round.
+func Gather(g *graph.Graph, dst int) (*schedule.Schedule, error) {
+	tr, err := spantree.BFSTree(g, dst)
+	if err != nil {
+		return nil, fmt.Errorf("collectives: %w", err)
+	}
+	l := spantree.Label(tr)
+	canon := schedule.New(l.N())
+	for v := 1; v < l.N(); v++ {
+		k := l.T.Level[v]
+		i, j := l.Interval(v)
+		for m := i; m <= j; m++ {
+			canon.AddSend(m-k, m, v, l.T.Parent[v])
+		}
+	}
+	return remap(canon, l), nil
+}
+
+// Scatter builds a schedule by which src delivers a distinct message to
+// every other processor; message identifiers equal their destination
+// processor. It is the time reversal of Gather: if message m reaches the
+// root at time m in the gather, the scatter sends it from the root at time
+// n - 1 - m and it lands at its origin vertex at exactly time n - 1 - m +
+// level. Total time n - 1, again optimal (the source can emit only one
+// distinct message per round, and n - 1 distinct messages must leave it).
+func Scatter(g *graph.Graph, src int) (*schedule.Schedule, error) {
+	gather, err := Gather(g, src)
+	if err != nil {
+		return nil, err
+	}
+	return Reverse(gather), nil
+}
+
+// Reverse time-reverses a schedule, flipping every transmission's
+// direction: a message sent u -> D at round t becomes, for each d in D, a
+// send d -> u at round T-1-t, where T is the total time. Reversal is
+// meaningful for relay schedules (each hop's payload becomes available at
+// the flipped time); reversing a Gather yields a valid Scatter because the
+// one-receive-per-round constraint of the forward schedule becomes the
+// one-send-per-round constraint of the reverse and vice versa, and a relay
+// chain u_0 -> u_1 -> ... -> u_k at increasing times turns into the same
+// chain traversed backwards. The caller must re-validate under the
+// intended initial hold sets; Scatter's tests do so for every topology.
+func Reverse(s *schedule.Schedule) *schedule.Schedule {
+	out := schedule.NewWithMessages(s.N, s.NMsg)
+	T := s.Time()
+	for t, round := range s.Rounds {
+		for _, tx := range round {
+			for _, d := range tx.To {
+				out.AddSend(T-1-t, tx.Msg, d, tx.From)
+			}
+		}
+	}
+	return out
+}
+
+// VerifyGather checks that after running s on g every message reached dst.
+func VerifyGather(g *graph.Graph, s *schedule.Schedule, dst int) error {
+	res, err := schedule.Run(g, s, schedule.Options{})
+	if err != nil {
+		return err
+	}
+	if !res.Holds[dst].Full() {
+		return fmt.Errorf("collectives: gather target %d is missing messages %v", dst, res.Holds[dst].Missing())
+	}
+	return nil
+}
+
+// VerifyScatter checks s as a scatter from src: message m (addressed to
+// processor m) must reach processor m. Initial holds put every message at
+// the source.
+func VerifyScatter(g *graph.Graph, s *schedule.Schedule, src int) error {
+	init := make([]*schedule.Bitset, g.N())
+	for v := range init {
+		init[v] = schedule.NewBitset(g.N())
+	}
+	for m := 0; m < g.N(); m++ {
+		init[src].Set(m)
+	}
+	res, err := schedule.Run(g, s, schedule.Options{Initial: init})
+	if err != nil {
+		return err
+	}
+	for m := 0; m < g.N(); m++ {
+		if !res.Holds[m].Has(m) {
+			return fmt.Errorf("collectives: scatter message %d never reached its destination", m)
+		}
+	}
+	return nil
+}
+
+// remap translates a canonical-label schedule back to original vertex ids.
+func remap(canon *schedule.Schedule, l *spantree.Labeled) *schedule.Schedule {
+	out := schedule.New(canon.N)
+	for t, round := range canon.Rounds {
+		for _, tx := range round {
+			dests := make([]int, len(tx.To))
+			for i, d := range tx.To {
+				dests[i] = l.VertexOf[d]
+			}
+			out.AddSend(t, l.VertexOf[tx.Msg], l.VertexOf[tx.From], dests...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+// BuildConcurrentUpDown constructs the ConcurrentUpDown schedule of
+// Theorem 1 on a DFS-labelled tree: total communication time exactly
+// n + height for every tree with at least two vertices (and 0 for the
+// trivial single-vertex tree). Vertex and message identifiers are canonical
+// DFS labels; use Gossip to run the full pipeline on an arbitrary network
+// with original identifiers.
+//
+// The construction is rule-based rather than simulated: Propagate-Up send
+// times come straight from steps U3-U4; Propagate-Down b-message times from
+// step D3 with its i = k special case; and o-message forwards from steps
+// D1-D2, computed top-down so that each vertex's forwarding times derive
+// from the arrival times its parent's sends induce. Where Propagate-Up and
+// Propagate-Down both transmit at the same time the theorem guarantees it
+// is the same message; the builder asserts this and merges the two into a
+// single multicast to {parent} ∪ children.
+func BuildConcurrentUpDown(l *spantree.Labeled) *schedule.Schedule {
+	t := l.T
+	n := l.N()
+	s := schedule.New(n)
+	if n <= 1 {
+		return s
+	}
+
+	// pending[v] collects v's transmissions keyed by send time before they
+	// are merged and emitted.
+	type sendRec struct {
+		msg      int
+		toParent bool
+		children []int
+	}
+	pending := make([]map[int]*sendRec, n)
+	for v := range pending {
+		pending[v] = make(map[int]*sendRec)
+	}
+	// record merges a transmission into v's plan. Child destination slices
+	// are shared, not copied: every caller passes either nil, the vertex's
+	// immutable Children slice, or a freshly built exclusion slice, and the
+	// only merge in ConcurrentUpDown (a U4 up-send coinciding with its D3
+	// down-send) has one side without children.
+	record := func(v, time, msg int, toParent bool, children []int) {
+		if !toParent && len(children) == 0 {
+			return
+		}
+		rec, ok := pending[v][time]
+		if !ok {
+			pending[v][time] = &sendRec{msg: msg, toParent: toParent, children: children}
+			return
+		}
+		if rec.msg != msg {
+			panic(fmt.Sprintf("core: vertex %d would send messages %d and %d at time %d", v, rec.msg, msg, time))
+		}
+		rec.toParent = rec.toParent || toParent
+		if len(children) > 0 {
+			if rec.children == nil {
+				rec.children = children
+			} else {
+				merged := make([]int, 0, len(rec.children)+len(children))
+				merged = append(merged, rec.children...)
+				merged = append(merged, children...)
+				rec.children = merged
+			}
+		}
+	}
+
+	// Propagate-Up (U3, U4): every non-root vertex sends its lip-message at
+	// time 0 and its rip-messages m at times m - k.
+	for v := 1; v < n; v++ {
+		k := t.Level[v]
+		i, j := l.Interval(v)
+		w := l.LipCount(v)
+		if w == 1 {
+			record(v, 0, i, true, nil)
+		}
+		for m := i + w; m <= j; m++ {
+			record(v, m-k, m, true, nil)
+		}
+	}
+
+	// Propagate-Down (D3 + D2), top-down in BFS order so a vertex's
+	// o-message arrivals are known from its parent's already-recorded sends.
+	// arrivalsFromParent[v] lists (time, msg) pairs delivered by the parent.
+	type arrival struct{ time, msg int }
+	arrivals := make([][]arrival, n)
+
+	order := bfsOrder(t)
+	for _, v := range order {
+		kids := t.Children[v]
+		k := t.Level[v]
+		i, j := l.Interval(v)
+
+		if len(kids) > 0 {
+			// Step D3: b-messages m = i..j at times m - k, message i to all
+			// children and every other m to all children except its owner;
+			// on the leftmost DFS path (i == k) message i moves to j - k + 1.
+			for m := i; m <= j; m++ {
+				time := m - k
+				if v == t.Root {
+					// Root: message 0 is deferred to time n (the paper's
+					// Table 1: the root sends message m at time m for
+					// m >= 1 and its own message 0 at time n). This is the
+					// i = k special case, since the root always has i = k = 0.
+					if m == 0 {
+						time = n // == j - k + 1 at the root
+					}
+				} else if m == i && i == k {
+					time = j - k + 1
+				}
+				dests := kids
+				if owner := l.Owner(v, m); owner != -1 {
+					dests = excluding(kids, owner)
+				}
+				record(v, time, m, false, dests)
+			}
+
+			// Step D2: forward o-messages received from the parent at their
+			// arrival time, except arrivals at times i-k and i-k+1, which
+			// are held back until j-k+1 and j-k+2 while D3 occupies the
+			// vertex. When i == k the paper guarantees no arrival occupies
+			// those slots, freeing j-k+1 for the relocated s-message.
+			var delayed []arrival
+			for _, a := range arrivals[v] {
+				if a.time == i-k || a.time == i-k+1 {
+					delayed = append(delayed, a)
+					continue
+				}
+				record(v, a.time, a.msg, false, kids)
+			}
+			if len(delayed) > 2 {
+				panic(fmt.Sprintf("core: vertex %d has %d delayed o-messages", v, len(delayed)))
+			}
+			for idx, a := range delayed {
+				record(v, j-k+1+idx, a.msg, false, kids)
+			}
+		}
+
+		// Propagate arrival times to the children for the next BFS level.
+		times := make([]int, 0, len(pending[v]))
+		for time := range pending[v] {
+			times = append(times, time)
+		}
+		sort.Ints(times)
+		for _, time := range times {
+			rec := pending[v][time]
+			for _, c := range rec.children {
+				arrivals[c] = append(arrivals[c], arrival{time + 1, rec.msg})
+			}
+		}
+	}
+
+	// Emit the merged schedule. AddSend copies its destination slice, so a
+	// single scratch buffer serves every transmission.
+	var scratch []int
+	for v := 0; v < n; v++ {
+		times := make([]int, 0, len(pending[v]))
+		for time := range pending[v] {
+			times = append(times, time)
+		}
+		sort.Ints(times)
+		for _, time := range times {
+			rec := pending[v][time]
+			scratch = scratch[:0]
+			// Canonical DFS labels order the parent below every child, so
+			// parent-first destinations stay sorted and AddSend skips its sort.
+			if rec.toParent {
+				scratch = append(scratch, t.Parent[v])
+			}
+			scratch = append(scratch, rec.children...)
+			s.AddSend(time, rec.msg, v, scratch...)
+		}
+	}
+	return s
+}
+
+// bfsOrder returns the vertices of t in level order starting at the root.
+func bfsOrder(t *spantree.Tree) []int {
+	order := make([]int, 0, t.N())
+	order = append(order, t.Root)
+	for head := 0; head < len(order); head++ {
+		order = append(order, t.Children[order[head]]...)
+	}
+	return order
+}
+
+// excluding returns kids without the single element x.
+func excluding(kids []int, x int) []int {
+	out := make([]int, 0, len(kids)-1)
+	for _, c := range kids {
+		if c != x {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+// buildLabeled roots g (a tree as an undirected graph) at root and labels it.
+func buildLabeled(t *testing.T, g *graph.Graph, root int) *spantree.Labeled {
+	t.Helper()
+	tr, err := spantree.BFSTree(g, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spantree.Label(tr)
+}
+
+func fig5Labeled(t *testing.T) *spantree.Labeled {
+	t.Helper()
+	return spantree.Label(spantree.MustFromParents(graph.Fig5TreeParents()))
+}
+
+func TestCUDFig5TotalTime(t *testing.T) {
+	l := fig5Labeled(t)
+	s := BuildConcurrentUpDown(l)
+	if want := 16 + 3; s.Time() != want {
+		t.Fatalf("Time = %d, want %d", s.Time(), want)
+	}
+	res, err := schedule.CheckGossip(l.T.Graph(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WastedDeliveries != 0 {
+		t.Fatalf("ConcurrentUpDown wasted %d deliveries", res.WastedDeliveries)
+	}
+}
+
+// timetable compares one row of a vertex timetable against expected
+// (time, message) pairs, requiring every other slot to be empty.
+func checkRow(t *testing.T, name string, got []int, want map[int]int) {
+	t.Helper()
+	for time, msg := range got {
+		w, ok := want[time]
+		if !ok {
+			w = schedule.NoMessage
+		}
+		if msg != w {
+			t.Errorf("%s[t=%d] = %d, want %d", name, time, msg, w)
+		}
+	}
+}
+
+// seq fills want[t0+d] = m0+d for d = 0..count-1.
+func seq(want map[int]int, t0, m0, count int) map[int]int {
+	if want == nil {
+		want = map[int]int{}
+	}
+	for d := 0; d < count; d++ {
+		want[t0+d] = m0 + d
+	}
+	return want
+}
+
+// TestCUDTable1 reproduces the paper's Table 1: the schedule of the root
+// (message 0) in Fig. 5. The root receives messages 1..15 from its children
+// at times 1..15 and multicasts message m to the children lacking it at
+// time m, finishing with its own message 0 at time 16 = n.
+func TestCUDTable1(t *testing.T) {
+	l := fig5Labeled(t)
+	s := BuildConcurrentUpDown(l)
+	vt := schedule.VertexView(s, l.T, 0)
+	checkRow(t, "RecvChild", vt.RecvChild, seq(nil, 1, 1, 15))
+	checkRow(t, "SendChild", vt.SendChild, seq(map[int]int{16: 0}, 1, 1, 15))
+	checkRow(t, "RecvParent", vt.RecvParent, nil)
+	checkRow(t, "SendParent", vt.SendParent, nil)
+}
+
+// TestCUDTable2 reproduces Table 2: the vertex holding message 1
+// (interval [1,3], level 1, first child of the root).
+func TestCUDTable2(t *testing.T) {
+	l := fig5Labeled(t)
+	s := BuildConcurrentUpDown(l)
+	vt := schedule.VertexView(s, l.T, 1)
+	// Receives messages 4..15 from the root at times 5..16 and message 0 at 17.
+	checkRow(t, "RecvParent", vt.RecvParent, seq(map[int]int{17: 0}, 5, 4, 12))
+	// Receives its children's messages 2, 3 at times 1, 2.
+	checkRow(t, "RecvChild", vt.RecvChild, seq(nil, 1, 2, 2))
+	// Sends 1 (lip) at 0, then 2, 3 at 1, 2.
+	checkRow(t, "SendParent", vt.SendParent, seq(map[int]int{0: 1}, 1, 2, 2))
+	// Sends 2@1, 3@2, then its own delayed s-message 1@3 (the i = k case),
+	// then forwards 4..15 at 5..16 and 0 at 17.
+	want := seq(map[int]int{1: 2, 2: 3, 3: 1, 17: 0}, 5, 4, 12)
+	checkRow(t, "SendChild", vt.SendChild, want)
+}
+
+// TestCUDTable3 reproduces Table 3: the vertex holding message 4
+// (interval [4,10], level 1), whose o-messages 2 and 3 are the delayed ones.
+func TestCUDTable3(t *testing.T) {
+	l := fig5Labeled(t)
+	s := BuildConcurrentUpDown(l)
+	vt := schedule.VertexView(s, l.T, 4)
+	checkRow(t, "RecvParent", vt.RecvParent,
+		seq(map[int]int{2: 1, 3: 2, 4: 3, 17: 0}, 12, 11, 5))
+	// l-message 5 at time 1; r-messages 6..10 at times 5..9.
+	checkRow(t, "RecvChild", vt.RecvChild, seq(map[int]int{1: 5}, 5, 6, 5))
+	// rip-messages 4..10 at times 3..9 (no lip: 4 != 0+1).
+	checkRow(t, "SendParent", vt.SendParent, seq(nil, 3, 4, 7))
+	// b-messages 4..10 at 3..9; forward 1@2; delayed 2@10, 3@11; tail
+	// 11..15 at 12..16 and 0@17.
+	want := seq(map[int]int{2: 1, 10: 2, 11: 3, 17: 0}, 3, 4, 7)
+	want = seq(want, 12, 11, 5)
+	checkRow(t, "SendChild", vt.SendChild, want)
+}
+
+// TestCUDTable4 reproduces Table 4: the vertex holding message 8
+// (interval [8,10], level 2), whose delayed o-messages are 6 and 7.
+func TestCUDTable4(t *testing.T) {
+	l := fig5Labeled(t)
+	s := BuildConcurrentUpDown(l)
+	vt := schedule.VertexView(s, l.T, 8)
+	// From parent (vertex 4): 1@3, 4@4, 5@5, 6@6, 7@7, then 2@11, 3@12,
+	// 11..15 @ 13..17, 0@18.
+	want := map[int]int{3: 1, 4: 4, 5: 5, 6: 6, 7: 7, 11: 2, 12: 3, 18: 0}
+	want = seq(want, 13, 11, 5)
+	checkRow(t, "RecvParent", vt.RecvParent, want)
+	// l-message 9 at 1, r-message 10 at 8.
+	checkRow(t, "RecvChild", vt.RecvChild, map[int]int{1: 9, 8: 10})
+	// rip 8..10 at 6..8.
+	checkRow(t, "SendParent", vt.SendParent, seq(nil, 6, 8, 3))
+	// b: 8@6, 9@7, 10@8; forwards 1@3, 4@4, 5@5; delayed 6@9, 7@10; then
+	// 2@11, 3@12, 11..15 @ 13..17, 0@18.
+	wantSend := map[int]int{3: 1, 4: 4, 5: 5, 6: 8, 7: 9, 8: 10, 9: 6, 10: 7, 11: 2, 12: 3, 18: 0}
+	wantSend = seq(wantSend, 13, 11, 5)
+	checkRow(t, "SendChild", vt.SendChild, wantSend)
+}
+
+func TestCUDTrivialTrees(t *testing.T) {
+	// n = 1: nothing to do.
+	one := spantree.Label(spantree.MustFromParents([]int{-1}))
+	if s := BuildConcurrentUpDown(one); s.Time() != 0 {
+		t.Fatalf("n=1: time %d, want 0", s.Time())
+	}
+	// n = 2: root and leaf, time n + r = 3.
+	two := spantree.Label(spantree.MustFromParents([]int{-1, 0}))
+	s := BuildConcurrentUpDown(two)
+	if _, err := schedule.CheckGossip(two.T.Graph(), s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Time() != 3 {
+		t.Fatalf("n=2: time %d, want 3", s.Time())
+	}
+}
+
+// TestCUDExhaustiveSmallTrees checks validity, completion, the exact n + r
+// bound, and zero waste on every labelled tree with up to 7 vertices,
+// rooted at every vertex (135,913 rooted trees).
+func TestCUDExhaustiveSmallTrees(t *testing.T) {
+	maxN := 7
+	if testing.Short() {
+		maxN = 6
+	}
+	for n := 2; n <= maxN; n++ {
+		count := 0
+		graph.AllTrees(n, func(g *graph.Graph) bool {
+			count++
+			for root := 0; root < n; root++ {
+				l := buildLabeled(t, g, root)
+				s := BuildConcurrentUpDown(l)
+				res, err := schedule.Run(l.T.Graph(), s, schedule.Options{RequireUseful: true})
+				if err != nil {
+					t.Fatalf("n=%d root=%d tree=%v: %v", n, root, g, err)
+				}
+				for p, h := range res.Holds {
+					if !h.Full() {
+						t.Fatalf("n=%d root=%d tree=%v: processor %d missing %v", n, root, g, p, h.Missing())
+					}
+				}
+				if want := n + l.T.Height; s.Time() != want {
+					t.Fatalf("n=%d root=%d tree=%v: time %d, want %d", n, root, g, s.Time(), want)
+				}
+			}
+			return true
+		})
+		if count == 0 {
+			t.Fatalf("n=%d: no trees enumerated", n)
+		}
+	}
+}
+
+// TestSimpleExhaustiveSmallTrees checks Lemma 1 the same way: validity,
+// completion, and the exact 2n + r - 3 bound.
+func TestSimpleExhaustiveSmallTrees(t *testing.T) {
+	maxN := 7
+	if testing.Short() {
+		maxN = 6
+	}
+	for n := 2; n <= maxN; n++ {
+		graph.AllTrees(n, func(g *graph.Graph) bool {
+			for root := 0; root < n; root++ {
+				l := buildLabeled(t, g, root)
+				s := BuildSimple(l)
+				if _, err := schedule.CheckGossip(l.T.Graph(), s); err != nil {
+					t.Fatalf("n=%d root=%d tree=%v: %v", n, root, g, err)
+				}
+				if want := SimpleTime(n, l.T.Height); s.Time() != want {
+					t.Fatalf("n=%d root=%d tree=%v: time %d, want %d", n, root, g, s.Time(), want)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestCUDRandomLargeTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	sizes := []int{50, 137, 400}
+	if testing.Short() {
+		sizes = []int{50}
+	}
+	for _, n := range sizes {
+		for iter := 0; iter < 5; iter++ {
+			g := graph.RandomTree(rng, n)
+			l := buildLabeled(t, g, rng.Intn(n))
+			s := BuildConcurrentUpDown(l)
+			res, err := schedule.Run(l.T.Graph(), s, schedule.Options{RequireUseful: true})
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			for p, h := range res.Holds {
+				if !h.Full() {
+					t.Fatalf("n=%d: processor %d incomplete", n, p)
+				}
+			}
+			if want := n + l.T.Height; s.Time() != want {
+				t.Fatalf("n=%d: time %d, want %d", n, s.Time(), want)
+			}
+		}
+	}
+}
+
+func TestPathTreesBothAlgorithms(t *testing.T) {
+	// Paths rooted at an end are the deepest trees (r = n-1) and exercise
+	// the i = k leftmost-path special case at every vertex.
+	for _, n := range []int{2, 3, 5, 16, 33} {
+		g := graph.Path(n)
+		l := buildLabeled(t, g, 0)
+		cud := BuildConcurrentUpDown(l)
+		if _, err := schedule.Run(l.T.Graph(), cud, schedule.Options{RequireUseful: true}); err != nil {
+			t.Fatalf("CUD path n=%d: %v", n, err)
+		}
+		if cud.Time() != n+(n-1) {
+			t.Fatalf("CUD path n=%d: time %d, want %d", n, cud.Time(), n+n-1)
+		}
+		simple := BuildSimple(l)
+		if _, err := schedule.CheckGossip(l.T.Graph(), simple); err != nil {
+			t.Fatalf("Simple path n=%d: %v", n, err)
+		}
+		if simple.Time() != SimpleTime(n, n-1) {
+			t.Fatalf("Simple path n=%d: time %d", n, simple.Time())
+		}
+	}
+}
+
+func TestStarTrees(t *testing.T) {
+	// Stars rooted at the hub: r = 1, the shallowest non-trivial trees.
+	for _, n := range []int{3, 4, 10, 65} {
+		l := buildLabeled(t, graph.Star(n), 0)
+		s := BuildConcurrentUpDown(l)
+		if _, err := schedule.Run(l.T.Graph(), s, schedule.Options{RequireUseful: true}); err != nil {
+			t.Fatalf("star n=%d: %v", n, err)
+		}
+		if s.Time() != n+1 {
+			t.Fatalf("star n=%d: time %d, want %d", n, s.Time(), n+1)
+		}
+	}
+}
+
+func TestGossipPipelineOnGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	graphs := []*graph.Graph{
+		graph.Cycle(9), graph.Grid(4, 4), graph.Hypercube(4), graph.Petersen(),
+		graph.Fig4(), graph.Wheel(9), graph.N3StandIn(),
+		graph.RandomConnected(rng, 30, 0.12),
+		graph.RandomGeometric(rng, 40, 0.25),
+	}
+	for _, g := range graphs {
+		for _, algo := range []Algorithm{ConcurrentUpDown, Simple} {
+			res, err := Gossip(g, algo)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", g, algo, err)
+			}
+			// The schedule must be valid on the original network (it only
+			// uses spanning-tree edges) and complete.
+			if _, err := schedule.CheckGossip(g, res.Schedule); err != nil {
+				t.Fatalf("%v/%v: %v", g, algo, err)
+			}
+			if res.Radius != g.Radius() {
+				t.Fatalf("%v: radius %d, want %d", g, res.Radius, g.Radius())
+			}
+			var want int
+			if algo == ConcurrentUpDown {
+				want = ConcurrentUpDownTime(g.N(), res.Radius)
+			} else {
+				want = SimpleTime(g.N(), res.Radius)
+			}
+			if res.Schedule.Time() != want {
+				t.Fatalf("%v/%v: time %d, want %d", g, algo, res.Schedule.Time(), want)
+			}
+		}
+	}
+}
+
+func TestGossipEmptyGraph(t *testing.T) {
+	if _, err := Gossip(graph.New(0), ConcurrentUpDown); err == nil {
+		t.Fatal("Gossip accepted empty network")
+	}
+}
+
+func TestRemapToOriginalPermutes(t *testing.T) {
+	// A tree whose ids are shuffled relative to DFS order; the remapped
+	// schedule must be valid on the original graph with original ids.
+	tr := spantree.MustFromParents([]int{3, 5, 0, -1, 0, 3})
+	l := spantree.Label(tr)
+	canon := BuildConcurrentUpDown(l)
+	orig := RemapToOriginal(canon, l)
+	if _, err := schedule.CheckGossip(tr.Graph(), orig); err != nil {
+		t.Fatal(err)
+	}
+	if orig.Time() != canon.Time() {
+		t.Fatalf("remap changed time: %d vs %d", orig.Time(), canon.Time())
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if ConcurrentUpDown.String() != "ConcurrentUpDown" || Simple.String() != "Simple" {
+		t.Fatal("algorithm names wrong")
+	}
+	if Algorithm(9).String() == "" {
+		t.Fatal("unknown algorithm has empty name")
+	}
+}
+
+// TestCUDLowerBoundGap measures the paper's Section 4 discussion: on the
+// odd line the optimum is n + r - 1 and ConcurrentUpDown achieves n + r,
+// exactly one round away.
+func TestCUDLowerBoundGap(t *testing.T) {
+	for m := 1; m <= 8; m++ {
+		n := 2*m + 1
+		g := graph.Path(n)
+		res, err := Gossip(g, ConcurrentUpDown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lower := n + m - 1 // n + r - 1 with r = m
+		if got := res.Schedule.Time(); got != lower+1 {
+			t.Fatalf("line n=%d: time %d, want lower bound %d + 1", n, got, lower)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package core implements the paper's contribution: construction of
+// gossiping communication schedules on arbitrary networks under the
+// multicasting model.
+//
+// The pipeline follows Section 3 exactly:
+//
+//  1. build a minimum-depth spanning tree T of the network (height = radius
+//     r, package spantree);
+//  2. label messages in DFS preorder so the subtree of vertex v holds the
+//     contiguous interval [i..j] (spantree.Label);
+//  3. run algorithms Propagate-Up (steps U1-U4) and Propagate-Down (steps
+//     D1-D3) concurrently at every vertex; overlapping the two schedules —
+//     procedure ConcurrentUpDown — yields total communication time n + r
+//     (Theorem 1).
+//
+// The package also provides algorithm Simple (Lemma 1): pipeline all
+// messages to the root, then pipeline everything back down, for a total
+// communication time of 2n + r - 3. Simple is the baseline the paper
+// improves on; it is retained both as a comparison point and because its
+// correctness argument is elementary.
+//
+// Every schedule built here is deterministic given the network, so the
+// construction can run offline on one processor (the paper's offline
+// setting) or be re-derived locally by each processor from the tuple
+// (i, j, k, w, n) — package online exercises that distributed variant.
+package core

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"multigossip/internal/schedule"
+)
+
+// BuildLineOptimal constructs an optimal gossip schedule for the straight
+// line with n = 2m+1 processors: total communication time exactly
+// n + r - 1 = 3m, meeting the paper's Section 1 lower bound.
+//
+// Section 4 states that ConcurrentUpDown's n + r on the line can be
+// improved by one unit, but that "the protocol for each processor will not
+// be uniform and the algorithm will be much more complex. The reason is
+// that one needs to alternate the delivery of messages from different
+// subtrees." This is that non-uniform protocol, worked out in closed form.
+//
+// Layout: processors 0..2m along the line, the centre c = m is the root;
+// the left chain vertex at depth d is a_d = m-d holding message L_d, the
+// right chain vertex is b_d = m+d holding message R_d. The up streams
+// alternate at the root — L_e arrives at odd time 2e-1, R_e at even time
+// 2e — so the root forwards to the opposite chain with zero idle rounds:
+//
+//	root:  message 0 to both children at time 0; L_e to b_1 at 2e-1;
+//	       R_e to a_1 at 2e.
+//	a_d:   up: L_e to a_{d-1} at 2e-1-d (e = d..m).
+//	       down to a_{d+1}: msg0 at d; R_e at 2e+d; L_e (e <= d) at
+//	       2m+d-2e+1 — the shallow left messages trail the R stream.
+//	b_d:   up: R_e to b_{d-1} at 2e-d (e = d..m).
+//	       down to b_{d+1}: R_e (e <= d) at d-e — own and shallow right
+//	       messages lead before the up window; L_e at 2e+d-1; msg0 at 2m+d.
+//
+// The two chains' protocols differ (left trails its own messages, right
+// leads with them) — exactly the non-uniformity the paper predicts. Every
+// schedule this builder produces is machine-verified optimal by the tests
+// for all m up to 60 and certified against exact search for small m.
+func BuildLineOptimal(m int) (*schedule.Schedule, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("core: line optimal needs m >= 1, got %d", m)
+	}
+	n := 2*m + 1
+	c := m
+	left := func(d int) int { return m - d }  // a_d, holds message m-d
+	right := func(d int) int { return m + d } // b_d, holds message m+d
+	s := schedule.New(n)
+
+	// Root: its own message to both children, then alternate forwards.
+	s.AddSend(0, c, c, left(1), right(1))
+	for e := 1; e <= m; e++ {
+		s.AddSend(2*e-1, left(e), c, right(1)) // L_e onward to the right
+		s.AddSend(2*e, right(e), c, left(1))   // R_e onward to the left
+	}
+
+	for d := 1; d <= m; d++ {
+		// Up streams.
+		for e := d; e <= m; e++ {
+			s.AddSend(2*e-1-d, left(e), left(d), left(d-1))
+			s.AddSend(2*e-d, right(e), right(d), right(d-1))
+		}
+		if d == m {
+			continue // leaves have no down duties
+		}
+		// Left chain down stream.
+		s.AddSend(d, c, left(d), left(d+1))
+		for e := 1; e <= m; e++ {
+			s.AddSend(2*e+d, right(e), left(d), left(d+1))
+		}
+		for e := 1; e <= d; e++ {
+			s.AddSend(2*m+d-2*e+1, left(e), left(d), left(d+1))
+		}
+		// Right chain down stream.
+		for e := 1; e <= d; e++ {
+			s.AddSend(d-e, right(e), right(d), right(d+1))
+		}
+		for e := 1; e <= m; e++ {
+			s.AddSend(2*e+d-1, left(e), right(d), right(d+1))
+		}
+		s.AddSend(2*m+d, c, right(d), right(d+1))
+	}
+	return s, nil
+}
+
+// LineOptimalTime returns the closed-form optimal gossip time of the odd
+// line with n = 2m+1 processors: n + r - 1 = 3m.
+func LineOptimalTime(m int) int { return 3 * m }

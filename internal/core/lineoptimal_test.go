@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// TestLineOptimalMeetsLowerBound machine-verifies the Section 4 claim that
+// a non-uniform protocol saves one round on the line: for every m up to 60
+// the alternating schedule is valid, complete, waste-free and takes exactly
+// n + r - 1 = 3m rounds — the paper's own lower bound, so each schedule is
+// certified optimal without any search.
+func TestLineOptimalMeetsLowerBound(t *testing.T) {
+	for m := 1; m <= 60; m++ {
+		n := 2*m + 1
+		s, err := BuildLineOptimal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := graph.Path(n)
+		res, err := schedule.Run(g, s, schedule.Options{RequireUseful: true})
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		for p, h := range res.Holds {
+			if !h.Full() {
+				t.Fatalf("m=%d: processor %d missing %v", m, p, h.Missing())
+			}
+		}
+		if s.Time() != LineOptimalTime(m) {
+			t.Fatalf("m=%d: time %d, want %d", m, s.Time(), 3*m)
+		}
+		if s.Time() != n+m-1 {
+			t.Fatalf("m=%d: closed form disagrees with n+r-1", m)
+		}
+	}
+}
+
+// TestLineOptimalBeatsCUDByOne: the non-uniform schedule is exactly one
+// round shorter than ConcurrentUpDown on every odd line.
+func TestLineOptimalBeatsCUDByOne(t *testing.T) {
+	for _, m := range []int{1, 3, 7, 20} {
+		n := 2*m + 1
+		opt, err := BuildLineOptimal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cud, err := Gossip(graph.Path(n), ConcurrentUpDown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cud.Schedule.Time()-opt.Time() != 1 {
+			t.Fatalf("m=%d: CUD %d vs optimal %d, want gap 1", m, cud.Schedule.Time(), opt.Time())
+		}
+	}
+}
+
+func TestLineOptimalRejectsBadM(t *testing.T) {
+	if _, err := BuildLineOptimal(0); err == nil {
+		t.Fatal("accepted m = 0")
+	}
+	if _, err := BuildLineOptimal(-3); err == nil {
+		t.Fatal("accepted negative m")
+	}
+}
+
+// TestLineOptimalNonUniform documents the asymmetry the paper predicts:
+// the left and right chains run different protocols (the right chain
+// pushes its own message down at time 0; the left chain trails its own
+// messages after the opposite stream).
+func TestLineOptimalNonUniform(t *testing.T) {
+	m := 4
+	s, err := BuildLineOptimal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b_1 = m+1 sends its own message toward b_2 at time 0.
+	foundRight := false
+	for _, tx := range s.Rounds[0] {
+		if tx.From == m+1 && tx.Msg == m+1 && tx.To[0] == m+2 {
+			foundRight = true
+		}
+	}
+	if !foundRight {
+		t.Fatal("right chain does not lead with its own message at time 0")
+	}
+	// a_1 = m-1 sends its own message toward a_2 only at time 2m.
+	for t0, round := range s.Rounds {
+		for _, tx := range round {
+			if tx.From == m-1 && tx.Msg == m-1 && tx.To[0] == m-2 {
+				if t0 != 2*m {
+					t.Fatalf("left chain sends its own message down at %d, want %d", t0, 2*m)
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("left chain never sends its own message down")
+}

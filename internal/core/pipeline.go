@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+// Algorithm selects which schedule builder the pipeline runs on the
+// minimum-depth spanning tree.
+type Algorithm int
+
+const (
+	// ConcurrentUpDown is the paper's main algorithm: n + r rounds.
+	ConcurrentUpDown Algorithm = iota
+	// Simple is the baseline of Lemma 1: 2n + r - 3 rounds.
+	Simple
+)
+
+// String returns the algorithm name as used in reports.
+func (a Algorithm) String() string {
+	switch a {
+	case ConcurrentUpDown:
+		return "ConcurrentUpDown"
+	case Simple:
+		return "Simple"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Result bundles everything the pipeline produces for a network.
+type Result struct {
+	Schedule *schedule.Schedule // gossip schedule in original vertex ids
+	Tree     *spantree.Tree     // minimum-depth spanning tree (original ids)
+	Labeled  *spantree.Labeled  // DFS labelling of Tree
+	Radius   int                // tree height == network radius
+}
+
+// Gossip runs the paper's full pipeline on an arbitrary connected network:
+// minimum-depth spanning tree, DFS labelling, then the chosen schedule
+// builder on the tree. The returned schedule uses the network's original
+// vertex identifiers, with message m identified with its originating
+// processor; it is guaranteed valid on the tree network and therefore on g.
+func Gossip(g *graph.Graph, algo Algorithm) (*Result, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("core: empty network")
+	}
+	tree, err := spantree.MinDepth(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: building minimum-depth spanning tree: %w", err)
+	}
+	return GossipOnTree(tree)[algo](), nil
+}
+
+// GossipOnTree returns lazy constructors for each algorithm on a fixed
+// tree, so callers that need several schedules on the same tree (the
+// comparative experiments) pay for tree construction and labelling once.
+func GossipOnTree(tree *spantree.Tree) map[Algorithm]func() *Result {
+	labeled := spantree.Label(tree)
+	build := func(algo Algorithm) func() *Result {
+		return func() *Result {
+			var canon *schedule.Schedule
+			switch algo {
+			case ConcurrentUpDown:
+				canon = BuildConcurrentUpDown(labeled)
+			case Simple:
+				canon = BuildSimple(labeled)
+			default:
+				panic(fmt.Sprintf("core: unknown algorithm %d", int(algo)))
+			}
+			return &Result{
+				Schedule: RemapToOriginal(canon, labeled),
+				Tree:     tree,
+				Labeled:  labeled,
+				Radius:   tree.Height,
+			}
+		}
+	}
+	return map[Algorithm]func() *Result{
+		ConcurrentUpDown: build(ConcurrentUpDown),
+		Simple:           build(Simple),
+	}
+}
+
+// RemapToOriginal translates a schedule expressed in canonical DFS labels
+// back to the original vertex identifiers of the labelled tree: both
+// processors and messages map through VertexOf, because message label m
+// originates at original vertex VertexOf[m] and messages are identified
+// with their origin in the basic gossiping problem.
+func RemapToOriginal(canon *schedule.Schedule, l *spantree.Labeled) *schedule.Schedule {
+	out := schedule.New(canon.N)
+	for t, round := range canon.Rounds {
+		for _, tx := range round {
+			dests := make([]int, len(tx.To))
+			for i, d := range tx.To {
+				dests[i] = l.VertexOf[d]
+			}
+			out.AddSend(t, l.VertexOf[tx.Msg], l.VertexOf[tx.From], dests...)
+		}
+	}
+	// Preserve trailing empty rounds (none are ever produced, but keep the
+	// length contract explicit).
+	for len(out.Rounds) < len(canon.Rounds) {
+		out.Rounds = append(out.Rounds, nil)
+	}
+	return out
+}

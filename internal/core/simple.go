@@ -1,0 +1,70 @@
+package core
+
+import (
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+// BuildSimple constructs the schedule of algorithm Simple (Lemma 1) on a
+// DFS-labelled tree: first pipeline every message up so the root holds all
+// n messages at time n - 1 (message m, originating at level k_m, moves one
+// level per round and reaches the root exactly at time m), then pipeline
+// every message down, the root sending message m to all its children at
+// time n - 2 + m and every inner vertex forwarding immediately. Total
+// communication time 2n + height - 3 for every tree with n >= 2.
+//
+// Down-phase multicasts go to all children, including the subtree that
+// already owns the message — the paper's Simple does the same; the wasted
+// deliveries are what ConcurrentUpDown eliminates.
+func BuildSimple(l *spantree.Labeled) *schedule.Schedule {
+	t := l.T
+	n := l.N()
+	s := schedule.New(n)
+	if n <= 1 {
+		return s
+	}
+
+	// Up phase: non-root vertex v at level k relays every message of its
+	// subtree interval [i..j] to its parent at time m - k (its own message
+	// i starts the relay; descendants' messages stream through in label
+	// order without conflicts).
+	for v := 1; v < n; v++ {
+		k := t.Level[v]
+		i, j := l.Interval(v)
+		for m := i; m <= j; m++ {
+			s.AddSend(m-k, m, v, t.Parent[v])
+		}
+	}
+
+	// Down phase: the root multicasts message m to all children at time
+	// n - 2 + m; a vertex at level k therefore receives it at time
+	// n - 2 + m + k and, if it has children, forwards it the same time unit.
+	for _, v := range bfsOrder(t) {
+		if len(t.Children[v]) == 0 {
+			continue
+		}
+		k := t.Level[v]
+		for m := 0; m < n; m++ {
+			s.AddSend(n-2+m+k, m, v, t.Children[v]...)
+		}
+	}
+	return s
+}
+
+// SimpleTime returns the closed-form total communication time of algorithm
+// Simple, 2n + r - 3, which the tests check against the built schedule.
+func SimpleTime(n, r int) int {
+	if n <= 1 {
+		return 0
+	}
+	return 2*n + r - 3
+}
+
+// ConcurrentUpDownTime returns the closed-form total communication time of
+// ConcurrentUpDown, n + r (Theorem 1).
+func ConcurrentUpDownTime(n, r int) int {
+	if n <= 1 {
+		return 0
+	}
+	return n + r
+}

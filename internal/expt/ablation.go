@@ -1,0 +1,110 @@
+package expt
+
+import (
+	"math/rand"
+
+	"multigossip/internal/core"
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+	"multigossip/internal/search"
+	"multigossip/internal/spantree"
+)
+
+// E19LineOptimal verifies the Section 4 remark that a non-uniform protocol
+// saves the last round on the line: the alternating-subtree schedule
+// implemented in core.BuildLineOptimal meets the n + r - 1 lower bound
+// exactly, so it is certified optimal without search.
+func (s *Suite) E19LineOptimal() *Table {
+	t := &Table{
+		ID:         "E19",
+		Title:      "Section 4 — non-uniform optimal line schedule (extension)",
+		PaperClaim: "one may improve the performance of our algorithm by one unit, but the protocol will not be uniform: one needs to alternate the delivery of messages from different subtrees",
+		Header:     []string{"m", "n", "lower bound n+r-1", "non-uniform schedule", "ConcurrentUpDown", "valid"},
+		Pass:       true,
+	}
+	for _, m := range []int{1, 2, 4, 8, 32, 128} {
+		n := 2*m + 1
+		opt, err := core.BuildLineOptimal(m)
+		if err != nil {
+			t.Pass = false
+			continue
+		}
+		g := graph.Path(n)
+		res, verr := schedule.Run(g, opt, schedule.Options{RequireUseful: true})
+		valid := verr == nil
+		if valid {
+			for _, h := range res.Holds {
+				if !h.Full() {
+					valid = false
+				}
+			}
+		}
+		cud, err := core.Gossip(g, core.ConcurrentUpDown)
+		if err != nil {
+			t.Pass = false
+			continue
+		}
+		lower := n + m - 1
+		t.Pass = t.Pass && valid && opt.Time() == lower && cud.Schedule.Time() == lower+1
+		t.Rows = append(t.Rows, []string{
+			itoa(m), itoa(n), itoa(lower), itoa(opt.Time()), itoa(cud.Schedule.Time()), yes(valid),
+		})
+	}
+	// Exact-search cross-check on the smallest case.
+	if opt, _, err := search.Exact(graph.Path(3), search.Multicast, 5, 0); err != nil || opt != 3 {
+		t.Pass = false
+	} else {
+		t.Notes = append(t.Notes, "- exact search confirms the m=1 optimum is 3 = n + r - 1, matching the non-uniform schedule")
+	}
+	t.Notes = append(t.Notes,
+		"- the protocol is indeed non-uniform: the right chain leads with its own message at time 0 while the left chain trails its own messages behind the opposite stream (asserted by TestLineOptimalNonUniform)")
+	return t
+}
+
+// E20RootAblation ablates the Section 3.1 minimum-depth tree construction:
+// ConcurrentUpDown's time is n + height(tree), so rooting the BFS tree
+// anywhere other than a centre vertex costs exactly the eccentricity gap —
+// up to a factor-2 radius penalty at a peripheral root.
+func (s *Suite) E20RootAblation() *Table {
+	t := &Table{
+		ID:         "E20",
+		Title:      "Ablation — why the minimum-depth spanning tree matters",
+		PaperClaim: "the first step constructs a minimum-depth spanning tree (height = radius); any other root pays n + ecc(root) instead of n + r",
+		Header:     []string{"family", "n", "r", "CUD @ centre root", "CUD @ worst root", "penalty rounds"},
+		Pass:       true,
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	for _, f := range families(96) {
+		g := f.gen(rng)
+		n := g.N()
+		// Centre root via MinDepth.
+		best, err := spantree.MinDepth(g)
+		if err != nil {
+			t.Pass = false
+			continue
+		}
+		// Worst root: the vertex of maximum eccentricity.
+		worstRoot, worstEcc := 0, -1
+		for v := 0; v < n; v++ {
+			if e := g.Eccentricity(v); e > worstEcc {
+				worstRoot, worstEcc = v, e
+			}
+		}
+		worst, err := spantree.BFSTree(g, worstRoot)
+		if err != nil {
+			t.Pass = false
+			continue
+		}
+		centreTime := core.BuildConcurrentUpDown(spantree.Label(best)).Time()
+		worstTime := core.BuildConcurrentUpDown(spantree.Label(worst)).Time()
+		okRow := centreTime == n+best.Height && worstTime == n+worst.Height && centreTime <= worstTime
+		t.Pass = t.Pass && okRow
+		t.Rows = append(t.Rows, []string{
+			f.name, itoa(n), itoa(best.Height), itoa(centreTime), itoa(worstTime), itoa(worstTime - centreTime),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"- the penalty equals diameter - radius, up to r extra rounds (e.g. rooting a line at its end); on low-diameter families (hypercube, de Bruijn) the construction barely matters — exactly the paper's O(mn) tree step paying off only when eccentricities spread",
+		"- the lip-message ablation is covered by GreedyUpDown in E18: without the time-0 lip sends the down stream stalls behind the up stream at every level")
+	return t
+}

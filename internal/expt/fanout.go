@@ -1,0 +1,75 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multigossip/internal/baseline"
+	"multigossip/internal/core"
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// E22FanoutSweep interpolates between the telephone model and the paper's
+// unrestricted multicast by capping the multicast fanout: in the wireless
+// framing of Section 2, the cap is how many receivers one transmission's
+// power reaches. The sweep shows where the multicast advantage saturates —
+// high-fanout topologies (stars) keep improving all the way, while bounded
+// -degree topologies saturate at their maximum degree.
+func (s *Suite) E22FanoutSweep() *Table {
+	t := &Table{
+		ID:         "E22",
+		Title:      "Extension — fanout-capped multicast: telephone → multicast interpolation",
+		PaperClaim: "(Section 2 framing) multicasting is a powerful primitive; a transmission with power r^alpha reaches all receivers within distance r — the cap measures how much of that power the schedule actually needs",
+		Header:     []string{"network", "fanout 1 (telephone)", "fanout 2", "fanout 4", "fanout 8", "unbounded greedy", "CUD (n+r)"},
+		Pass:       true,
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"star n=32", graph.Star(32)},
+		{"binary tree n=31", graph.KAryTree(31, 2)},
+		{"grid 6x6", graph.Grid(6, 6)},
+		{"random G(32, 0.15)", graph.RandomConnected(rng, 32, 0.15)},
+	}
+	for _, c := range cases {
+		row := []string{c.name}
+		times := make([]int, 0, 5)
+		ok := true
+		for _, fanout := range []int{1, 2, 4, 8, c.g.N()} {
+			sched, err := baseline.CappedGossip(c.g, fanout, 0)
+			if err != nil {
+				ok = false
+				row = append(row, "err")
+				continue
+			}
+			if _, err := schedule.CheckGossip(c.g, sched); err != nil {
+				ok = false
+			}
+			times = append(times, sched.Time())
+			row = append(row, itoa(sched.Time()))
+		}
+		cud, err := core.Gossip(c.g, core.ConcurrentUpDown)
+		if err != nil {
+			ok = false
+			row = append(row, "err")
+		} else {
+			row = append(row, itoa(cud.Schedule.Time()))
+		}
+		// Shape: times non-increasing in the cap (greedy noise tolerance of
+		// a couple of rounds).
+		for i := 1; i < len(times); i++ {
+			if times[i] > times[i-1]+2 {
+				ok = false
+			}
+		}
+		t.Pass = t.Pass && ok
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("- on the star the telephone time is quadratic ((n-1)^2) and halves with every doubling of the cap until it approaches n + 1 — the strongest version of the paper's Section 2 separation"),
+		"- bounded-degree topologies saturate once the cap reaches the maximum degree: extra transmit power buys nothing, which is why the paper's unbounded-subset primitive loses nothing on such networks")
+	return t
+}

@@ -1,0 +1,81 @@
+package expt
+
+import (
+	"math/rand"
+
+	"multigossip/internal/baseline"
+	"multigossip/internal/core"
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// E27KPortSweep studies the k-port extension of the model: letting each
+// processor receive up to k messages per round relaxes the constraint the
+// paper's n-1 lower bound rests on. On dense topologies the time tracks
+// the relaxed receive bound ceil((n-1)/k); on sparse ones distance terms
+// take over and extra ports stop helping — the dual of the fanout sweep
+// in E22.
+func (s *Suite) E27KPortSweep() *Table {
+	t := &Table{
+		ID:         "E27",
+		Title:      "Extension — k-port receive sweep: relaxing the one-receive rule",
+		PaperClaim: "(model rule 1) \"each processor may receive at most one message\" — the n-1 receive bottleneck; k ports relax it to ceil((n-1)/k)",
+		Header:     []string{"network", "bound k=1", "ports=1", "ports=2", "ports=4", "ports=8", "CUD (1-port, n+r)"},
+		Pass:       true,
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"complete n=33", graph.Complete(33)},
+		{"star n=33", graph.Star(33)},
+		{"grid 6x6", graph.Grid(6, 6)},
+		{"random G(32, 0.2)", graph.RandomConnected(rng, 32, 0.2)},
+		{"path n=17", graph.Path(17)},
+	}
+	for _, c := range cases {
+		n := c.g.N()
+		row := []string{c.name, itoa(n - 1)}
+		prev := 1 << 30
+		ok := true
+		for _, ports := range []int{1, 2, 4, 8} {
+			sched, err := baseline.KPortGossip(c.g, ports, 0)
+			if err != nil {
+				ok = false
+				row = append(row, "err")
+				continue
+			}
+			res, verr := schedule.Run(c.g, sched, schedule.Options{RecvPorts: ports})
+			if verr != nil {
+				ok = false
+			} else {
+				for _, h := range res.Holds {
+					if !h.Full() {
+						ok = false
+					}
+				}
+			}
+			lower := (n - 2 + ports) / ports
+			if sched.Time() < lower || sched.Time() > prev+2 {
+				ok = false
+			}
+			prev = sched.Time()
+			row = append(row, itoa(sched.Time()))
+		}
+		cud, err := core.Gossip(c.g, core.ConcurrentUpDown)
+		if err != nil {
+			ok = false
+			row = append(row, "err")
+		} else {
+			row = append(row, itoa(cud.Schedule.Time()))
+		}
+		t.Pass = t.Pass && ok
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"- on K_n the measured times halve per port doubling, tracking ceil((n-1)/k) exactly — there the receive rule is the only binding constraint",
+		"- the star does NOT improve: every message flows through the hub, which still sends one multicast per round, so the hub's send capacity (~n rounds) binds regardless of receive ports",
+		"- on the path the distance terms dominate and ports barely help: the paper's n + r is already within a constant of optimal regardless of ports")
+	return t
+}

@@ -1,0 +1,142 @@
+// Package fault analyses schedule robustness under message loss. The
+// paper's model is lossless, and ConcurrentUpDown exploits that fully: it
+// has zero wasted deliveries, so every single delivery is load-bearing.
+// Algorithm Simple, by contrast, re-delivers messages into subtrees that
+// already hold them; those "wasted" deliveries act as redundancy. This
+// package quantifies the trade-off: a lenient executor propagates the
+// consequences of dropped deliveries (a processor that never received a
+// message silently skips its scheduled relays of it), and the analyses
+// report coverage and single-drop criticality.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// DeliveryID identifies one point-to-point delivery of a schedule: the
+// destination Dest of transmission index Tx in round Round.
+type DeliveryID struct {
+	Round, Tx, Dest int
+}
+
+// Execute runs s on g leniently: scheduled transmissions of messages the
+// sender does not hold are skipped (the fault has propagated), deliveries
+// listed in dropped are lost in flight, and double receives simply discard
+// the later message rather than erroring (a receiver conflict caused by
+// upstream faults). It returns per-processor hold sets and the achieved
+// coverage: the fraction of (processor, message) pairs held at the end.
+func Execute(g *graph.Graph, s *schedule.Schedule, dropped map[DeliveryID]bool) (holds []*schedule.Bitset, coverage float64, err error) {
+	if g.N() != s.N {
+		return nil, 0, fmt.Errorf("fault: graph has %d processors, schedule %d", g.N(), s.N)
+	}
+	if s.NMsg != s.N {
+		return nil, 0, fmt.Errorf("fault: lenient executor supports the basic instance only")
+	}
+	holds = make([]*schedule.Bitset, s.N)
+	for v := range holds {
+		holds[v] = schedule.NewBitset(s.NMsg)
+		holds[v].Set(v)
+	}
+	received := make([]int, s.N) // round of last receive, -1 otherwise
+	for i := range received {
+		received[i] = -1
+	}
+	for t, round := range s.Rounds {
+		type delivery struct{ msg, to int }
+		var arriving []delivery
+		for txIdx, tx := range round {
+			if !holds[tx.From].Has(tx.Msg) {
+				continue // fault propagation: nothing to send
+			}
+			for _, d := range tx.To {
+				if dropped[DeliveryID{t, txIdx, d}] {
+					continue
+				}
+				if received[d] == t {
+					continue // conflict after upstream faults: discard
+				}
+				received[d] = t
+				arriving = append(arriving, delivery{tx.Msg, d})
+			}
+		}
+		for _, a := range arriving {
+			holds[a.to].Set(a.msg)
+		}
+	}
+	total := s.N * s.NMsg
+	got := 0
+	for _, h := range holds {
+		got += h.Count()
+	}
+	return holds, float64(got) / float64(total), nil
+}
+
+// CriticalityReport summarises a single-drop sweep.
+type CriticalityReport struct {
+	Deliveries int     // total deliveries in the schedule
+	Critical   int     // drops that leave gossiping incomplete
+	Fraction   float64 // Critical / Deliveries
+}
+
+// Criticality drops every delivery of s in turn and reports how many are
+// critical (their loss leaves some processor without some message). For
+// ConcurrentUpDown the fraction is 1: optimal schedules carry no slack.
+func Criticality(g *graph.Graph, s *schedule.Schedule) (CriticalityReport, error) {
+	rep := CriticalityReport{}
+	for t, round := range s.Rounds {
+		for txIdx, tx := range round {
+			for _, d := range tx.To {
+				rep.Deliveries++
+				holds, _, err := Execute(g, s, map[DeliveryID]bool{{t, txIdx, d}: true})
+				if err != nil {
+					return rep, err
+				}
+				for _, h := range holds {
+					if !h.Full() {
+						rep.Critical++
+						break
+					}
+				}
+			}
+		}
+	}
+	if rep.Deliveries > 0 {
+		rep.Fraction = float64(rep.Critical) / float64(rep.Deliveries)
+	}
+	return rep, nil
+}
+
+// RandomLoss drops each delivery independently with probability p over the
+// given number of trials and returns the mean coverage — the degradation
+// curve of the schedule under lossy links.
+func RandomLoss(g *graph.Graph, s *schedule.Schedule, p float64, trials int, rng *rand.Rand) (meanCoverage float64, err error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("fault: loss probability %v out of [0,1]", p)
+	}
+	if trials < 1 {
+		return 0, fmt.Errorf("fault: need at least one trial")
+	}
+	sum := 0.0
+	for trial := 0; trial < trials; trial++ {
+		dropped := make(map[DeliveryID]bool)
+		for t, round := range s.Rounds {
+			for txIdx, tx := range round {
+				for _, d := range tx.To {
+					if rng.Float64() < p {
+						dropped[DeliveryID{t, txIdx, d}] = true
+					}
+				}
+			}
+		}
+		_, cov, err := Execute(g, s, dropped)
+		if err != nil {
+			return 0, err
+		}
+		sum += cov
+	}
+	return sum / float64(trials), nil
+}

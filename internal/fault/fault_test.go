@@ -1,0 +1,147 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"multigossip/internal/core"
+	"multigossip/internal/graph"
+	"multigossip/internal/spantree"
+)
+
+func buildBoth(t *testing.T, g *graph.Graph) (cud, simple *coreResult) {
+	t.Helper()
+	tr, err := spantree.MinDepth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builders := core.GossipOnTree(tr)
+	return &coreResult{builders[core.ConcurrentUpDown]()}, &coreResult{builders[core.Simple]()}
+}
+
+type coreResult struct{ *core.Result }
+
+func TestExecuteNoFaultsMatchesValidator(t *testing.T) {
+	g := graph.Fig4()
+	cud, simple := buildBoth(t, g)
+	for _, res := range []*coreResult{cud, simple} {
+		holds, cov, err := Execute(g, res.Schedule, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cov != 1.0 {
+			t.Fatalf("fault-free coverage %v, want 1", cov)
+		}
+		for v, h := range holds {
+			if !h.Full() {
+				t.Fatalf("processor %d incomplete without faults", v)
+			}
+		}
+	}
+}
+
+// TestCUDEveryDeliveryCritical: the headline fragility fact — an optimal
+// waste-free schedule has no slack, so dropping any single delivery breaks
+// completeness.
+func TestCUDEveryDeliveryCritical(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Path(7), graph.Star(8), graph.Cycle(9)} {
+		cud, _ := buildBoth(t, g)
+		rep, err := Criticality(g, cud.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Fraction != 1.0 {
+			t.Fatalf("%v: CUD criticality %v (%d/%d), want 1.0",
+				g, rep.Fraction, rep.Critical, rep.Deliveries)
+		}
+	}
+}
+
+// TestSimpleHasRedundancy: Simple's wasted deliveries tolerate some drops,
+// so its criticality fraction is strictly below 1 on trees with depth.
+func TestSimpleHasRedundancy(t *testing.T) {
+	g := graph.Path(7)
+	cud, simple := buildBoth(t, g)
+	cudRep, err := Criticality(g, cud.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simpleRep, err := Criticality(g, simple.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simpleRep.Fraction >= cudRep.Fraction {
+		t.Fatalf("Simple criticality %v not below CUD's %v", simpleRep.Fraction, cudRep.Fraction)
+	}
+	if simpleRep.Deliveries <= cudRep.Deliveries {
+		t.Fatalf("Simple should deliver more: %d vs %d", simpleRep.Deliveries, cudRep.Deliveries)
+	}
+}
+
+func TestFaultPropagation(t *testing.T) {
+	// Dropping the very first delivery on a line schedule must cascade:
+	// coverage falls well below losing a single pair.
+	g := graph.Path(9)
+	cud, _ := buildBoth(t, g)
+	// Find a round-0 delivery.
+	var id DeliveryID
+	found := false
+	for txIdx, tx := range cud.Schedule.Rounds[0] {
+		id = DeliveryID{0, txIdx, tx.To[0]}
+		found = true
+		break
+	}
+	if !found {
+		t.Fatal("no round-0 transmission")
+	}
+	_, cov, err := Execute(g, cud.Schedule, map[DeliveryID]bool{id: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	maxCov := 1.0 - 1.0/float64(n*n)
+	if cov >= maxCov {
+		t.Fatalf("coverage %v shows no cascade (max without cascade %v)", cov, maxCov)
+	}
+}
+
+func TestRandomLossCoverageDegrades(t *testing.T) {
+	g := graph.Path(9)
+	cud, simple := buildBoth(t, g)
+	rng := rand.New(rand.NewSource(99))
+	prev := 1.1
+	for _, p := range []float64{0, 0.02, 0.1, 0.3} {
+		cov, err := RandomLoss(g, cud.Schedule, p, 30, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cov < 0 || cov > 1 {
+			t.Fatalf("coverage %v out of range", cov)
+		}
+		if cov > prev+0.02 {
+			t.Fatalf("coverage not (roughly) monotone in p: %v after %v", cov, prev)
+		}
+		prev = cov
+	}
+	// Both algorithms must survive p = 0 untouched.
+	for _, s := range []*coreResult{cud, simple} {
+		cov, err := RandomLoss(g, s.Schedule, 0, 3, rng)
+		if err != nil || cov != 1 {
+			t.Fatalf("lossless run degraded: %v cov=%v", err, cov)
+		}
+	}
+}
+
+func TestExecuteRejectsBadInput(t *testing.T) {
+	g := graph.Path(3)
+	cud, _ := buildBoth(t, graph.Path(4))
+	if _, _, err := Execute(g, cud.Schedule, nil); err == nil {
+		t.Fatal("accepted size mismatch")
+	}
+	if _, err := RandomLoss(graph.Path(4), cud.Schedule, -0.1, 5, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("accepted negative probability")
+	}
+	if _, err := RandomLoss(graph.Path(4), cud.Schedule, 0.5, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("accepted zero trials")
+	}
+}

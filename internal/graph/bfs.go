@@ -1,0 +1,198 @@
+package graph
+
+// This file implements the distance machinery the paper relies on:
+// breadth-first search, eccentricities, and the derived radius, diameter
+// and center. The minimum-depth spanning tree of Section 3.1 is built from
+// n BFS traversals (see package spantree); here we provide the raw
+// traversal plus the metric helpers.
+
+// Unreachable is the distance reported for vertices in a different
+// connected component.
+const Unreachable = -1
+
+// BFS returns the distance (number of edges on a shortest path) from src to
+// every vertex, with Unreachable for vertices not connected to src.
+func (g *Graph) BFS(src int) []int {
+	g.check(src)
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.N())
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSParents runs BFS from src and returns, for every vertex, its parent on
+// a shortest path tree rooted at src (the parent is the vertex from which it
+// was first discovered; src and unreachable vertices get parent -1).
+// Ties are broken toward the lowest-numbered parent because adjacency lists
+// are sorted, which makes tree construction deterministic.
+func (g *Graph) BFSParents(src int) (parent, dist []int) {
+	g.check(src)
+	n := g.N()
+	parent = make([]int, n)
+	dist = make([]int, n)
+	for i := range dist {
+		parent[i] = -1
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				dist[v] = dist[u] + 1
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return parent, dist
+}
+
+// IsConnected reports whether the graph is connected. The empty graph and
+// the single-vertex graph are connected.
+func (g *Graph) IsConnected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	dist := g.BFS(0)
+	for _, d := range dist {
+		if d == Unreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components as slices of vertices, each
+// sorted, ordered by their smallest vertex.
+func (g *Graph) Components() [][]int {
+	n := g.N()
+	seen := make([]bool, n)
+	var comps [][]int
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Eccentricity returns the greatest distance from v to any vertex.
+// It panics if the graph is disconnected, because eccentricity is undefined
+// there and every algorithm in this module requires connectivity.
+func (g *Graph) Eccentricity(v int) int {
+	dist := g.BFS(v)
+	ecc := 0
+	for _, d := range dist {
+		if d == Unreachable {
+			panic("graph: eccentricity undefined on a disconnected graph")
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Eccentricities returns the eccentricity of every vertex using n BFS
+// traversals (O(nm)). It panics on disconnected graphs.
+func (g *Graph) Eccentricities() []int {
+	ecc := make([]int, g.N())
+	for v := range ecc {
+		ecc[v] = g.Eccentricity(v)
+	}
+	return ecc
+}
+
+// Radius returns the minimum eccentricity, i.e. the least r such that some
+// vertex reaches every vertex within r edges. This is the r of the paper's
+// n + r bound.
+func (g *Graph) Radius() int {
+	r, _ := g.RadiusCenter()
+	return r
+}
+
+// Diameter returns the maximum eccentricity.
+func (g *Graph) Diameter() int {
+	if g.N() == 0 {
+		return 0
+	}
+	ecc := g.Eccentricities()
+	d := 0
+	for _, e := range ecc {
+		if e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// RadiusCenter returns the radius together with the lowest-numbered center
+// vertex (a vertex achieving the radius).
+func (g *Graph) RadiusCenter() (radius, center int) {
+	if g.N() == 0 {
+		return 0, -1
+	}
+	radius = -1
+	center = -1
+	for v := 0; v < g.N(); v++ {
+		e := g.Eccentricity(v)
+		if radius == -1 || e < radius {
+			radius, center = e, v
+		}
+	}
+	return radius, center
+}
+
+// Center returns all vertices of minimum eccentricity, sorted.
+func (g *Graph) Center() []int {
+	if g.N() == 0 {
+		return nil
+	}
+	ecc := g.Eccentricities()
+	r := ecc[0]
+	for _, e := range ecc {
+		if e < r {
+			r = e
+		}
+	}
+	var out []int
+	for v, e := range ecc {
+		if e == r {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax, one edge per line, for
+// visual inspection of generated topologies (cmd/gossip trace --dot).
+// The optional labels map overrides vertex display names.
+func (g *Graph) DOT(name string, labels map[int]string) string {
+	var b strings.Builder
+	if name == "" {
+		name = "G"
+	}
+	fmt.Fprintf(&b, "graph %s {\n", name)
+	for v := 0; v < g.N(); v++ {
+		if lbl, ok := labels[v]; ok {
+			fmt.Fprintf(&b, "  %d [label=%q];\n", v, lbl)
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %d -- %d;\n", e.U, e.V)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,225 @@
+package graph
+
+import "fmt"
+
+// This file contains the deterministic topology generators used as
+// workloads by the experiments: the classic interconnection families the
+// gossiping literature evaluates on (paths, cycles, stars, grids, tori,
+// hypercubes, trees, de Bruijn graphs) plus a few composite shapes.
+
+// Path returns the straight-line network P_n: 0-1-2-...-(n-1).
+// The odd path realises the paper's n + r - 1 lower-bound instance.
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+// Cycle returns the ring C_n (n >= 3), the Fig. 1 topology N1 on which
+// gossiping completes in the optimal n - 1 rounds by rotation.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs n >= 3, got %d", n))
+	}
+	g := Path(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+// Star returns K_{1,n-1} with vertex 0 at the center. Stars maximise the
+// advantage of multicast over the telephone model: the center can push a
+// message to all leaves in one round.
+func Star(n int) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: star needs n >= 1, got %d", n))
+	}
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b}: vertices 0..a-1 on one side and
+// a..a+b-1 on the other, every cross pair adjacent. K_{2,3} is the smallest
+// non-Hamiltonian 2-connected example and serves as the stand-in for the
+// paper's Fig. 3 network N3 (see DESIGN.md, substitution 1).
+func CompleteBipartite(a, b int) *Graph {
+	if a < 1 || b < 1 {
+		panic(fmt.Sprintf("graph: complete bipartite needs a,b >= 1, got %d,%d", a, b))
+	}
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols mesh; vertex (r, c) has index r*cols + c.
+func Grid(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("graph: grid needs positive dimensions, got %dx%d", rows, cols))
+	}
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the rows x cols mesh with wraparound edges in both
+// dimensions (each dimension needs length >= 3 to avoid parallel edges;
+// length 1 or 2 degenerates to the grid connectivity in that dimension).
+func Torus(rows, cols int) *Graph {
+	g := Grid(rows, cols)
+	id := func(r, c int) int { return r*cols + c }
+	if cols >= 3 {
+		for r := 0; r < rows; r++ {
+			g.AddEdge(id(r, cols-1), id(r, 0))
+		}
+	}
+	if rows >= 3 {
+		for c := 0; c < cols; c++ {
+			g.AddEdge(id(rows-1, c), id(0, c))
+		}
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d vertices,
+// adjacent iff the vertex indices differ in exactly one bit.
+func Hypercube(d int) *Graph {
+	if d < 0 || d > 30 {
+		panic(fmt.Sprintf("graph: hypercube dimension %d out of range [0,30]", d))
+	}
+	n := 1 << uint(d)
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			u := v ^ (1 << uint(b))
+			if v < u {
+				g.AddEdge(v, u)
+			}
+		}
+	}
+	return g
+}
+
+// KAryTree returns the complete k-ary tree with n vertices in level order:
+// the children of vertex v are k*v+1 .. k*v+k (those below n).
+func KAryTree(n, k int) *Graph {
+	if k < 1 {
+		panic(fmt.Sprintf("graph: k-ary tree needs k >= 1, got %d", k))
+	}
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for c := k*v + 1; c <= k*v+k && c < n; c++ {
+			g.AddEdge(v, c)
+		}
+	}
+	return g
+}
+
+// Caterpillar returns a path of spine vertices, each carrying legs leaf
+// vertices. Spine vertices are 0..spine-1; the legs of spine vertex s are
+// appended after the spine. Caterpillars exercise trees whose radius is
+// far below n/2 while having many leaves.
+func Caterpillar(spine, legs int) *Graph {
+	if spine < 1 || legs < 0 {
+		panic(fmt.Sprintf("graph: caterpillar needs spine >= 1, legs >= 0, got %d,%d", spine, legs))
+	}
+	g := New(spine + spine*legs)
+	for s := 0; s+1 < spine; s++ {
+		g.AddEdge(s, s+1)
+	}
+	next := spine
+	for s := 0; s < spine; s++ {
+		for l := 0; l < legs; l++ {
+			g.AddEdge(s, next)
+			next++
+		}
+	}
+	return g
+}
+
+// DeBruijn returns the undirected de Bruijn graph B(2, d): vertices are
+// d-bit strings, with edges between x and its shifts (2x mod 2^d) and
+// (2x+1 mod 2^d). Self-loops are dropped. These graphs have logarithmic
+// diameter, making the n + r bound nearly optimal.
+func DeBruijn(d int) *Graph {
+	if d < 1 || d > 30 {
+		panic(fmt.Sprintf("graph: de Bruijn dimension %d out of range [1,30]", d))
+	}
+	n := 1 << uint(d)
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for _, u := range []int{(2 * v) % n, (2*v + 1) % n} {
+			if u != v {
+				g.AddEdge(v, u)
+			}
+		}
+	}
+	return g
+}
+
+// Wheel returns the wheel W_n: a cycle on vertices 1..n-1 plus hub vertex 0
+// adjacent to all of them (n >= 4). Radius 1, Hamiltonian.
+func Wheel(n int) *Graph {
+	if n < 4 {
+		panic(fmt.Sprintf("graph: wheel needs n >= 4, got %d", n))
+	}
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+		next := v + 1
+		if next == n {
+			next = 1
+		}
+		g.AddEdge(v, next)
+	}
+	return g
+}
+
+// Spider returns legs paths of length legLen joined at a center vertex 0.
+// Spider(2, m) is the odd path with its center as vertex 0; spiders with
+// three or more legs are the canonical trees where the n + r - 1 lower
+// bound argument applies at the center.
+func Spider(legs, legLen int) *Graph {
+	if legs < 1 || legLen < 1 {
+		panic(fmt.Sprintf("graph: spider needs legs >= 1, legLen >= 1, got %d,%d", legs, legLen))
+	}
+	g := New(1 + legs*legLen)
+	next := 1
+	for l := 0; l < legs; l++ {
+		prev := 0
+		for s := 0; s < legLen; s++ {
+			g.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+	}
+	return g
+}

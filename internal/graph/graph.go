@@ -1,0 +1,156 @@
+// Package graph provides the network substrate for the gossiping library:
+// a simple undirected graph with the traversals and distance metrics the
+// paper's algorithms need (BFS, eccentricity, radius, diameter, center),
+// together with the topology generators used by the experiments.
+//
+// Vertices are dense integer identifiers 0..n-1; they double as processor
+// indices and, because every processor initially holds exactly one message,
+// as message origins.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a finite simple undirected graph over vertices 0..n-1.
+// The zero value is an empty graph with no vertices; use New to create a
+// graph with a fixed vertex count.
+type Graph struct {
+	adj [][]int // adjacency lists; kept sorted by AddEdge
+}
+
+// New returns a graph with n vertices and no edges.
+// n may be zero; it panics if n is negative.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Graph{adj: make([][]int, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// check panics if v is not a valid vertex.
+func (g *Graph) check(v int) {
+	if v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, len(g.adj)))
+	}
+}
+
+// AddEdge inserts the undirected edge {u, v}. Inserting an existing edge is
+// a no-op, so generators may add edges without bookkeeping. Self-loops are
+// rejected because the communication model never sends a message to its
+// current holder over a loop.
+func (g *Graph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at vertex %d", u))
+	}
+	if g.HasEdge(u, v) {
+		return
+	}
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+}
+
+func insertSorted(s []int, x int) []int {
+	i := sort.SearchInts(s, x)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	nbrs := g.adj[u]
+	i := sort.SearchInts(nbrs, v)
+	return i < len(nbrs) && nbrs[i] == v
+}
+
+// Neighbors returns the sorted adjacency list of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int {
+	g.check(v)
+	return g.adj[v]
+}
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int {
+	g.check(v)
+	return len(g.adj[v])
+}
+
+// Edge is an undirected edge with U < V.
+type Edge struct{ U, V int }
+
+// Edges returns every edge exactly once, ordered by (U, V).
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for u, nbrs := range g.adj {
+		for _, v := range nbrs {
+			if u < v {
+				out = append(out, Edge{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.N())
+	for v, nbrs := range g.adj {
+		c.adj[v] = append([]int(nil), nbrs...)
+	}
+	return c
+}
+
+// String returns a compact human-readable description such as
+// "graph{n=4 m=3: 0-1 0-2 2-3}".
+func (g *Graph) String() string {
+	s := fmt.Sprintf("graph{n=%d m=%d:", g.N(), g.M())
+	for _, e := range g.Edges() {
+		s += fmt.Sprintf(" %d-%d", e.U, e.V)
+	}
+	return s + "}"
+}
+
+// Validate checks internal consistency: adjacency lists sorted, free of
+// duplicates and self-loops, and symmetric. It returns a descriptive error
+// for the first violation found. Graphs built exclusively through AddEdge
+// always validate; the check exists for graphs assembled by hand in tests
+// and for defensive use at package boundaries.
+func (g *Graph) Validate() error {
+	for u, nbrs := range g.adj {
+		for i, v := range nbrs {
+			if v < 0 || v >= len(g.adj) {
+				return fmt.Errorf("graph: vertex %d lists out-of-range neighbour %d", u, v)
+			}
+			if v == u {
+				return fmt.Errorf("graph: self-loop at vertex %d", u)
+			}
+			if i > 0 && nbrs[i-1] >= v {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted at index %d", u, i)
+			}
+			if !g.HasEdge(v, u) {
+				return fmt.Errorf("graph: edge %d-%d not symmetric", u, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package graph
+
+// HamiltonianCircuit searches for a Hamiltonian circuit by backtracking and
+// returns it as a vertex sequence starting at 0 (the successor of the last
+// vertex is the first). The second result reports whether one exists.
+//
+// The search is exponential in the worst case and intended for the small
+// named instances of the experiments (certifying that N1 and the Petersen
+// graph do or do not admit a circuit); budget caps the number of extension
+// steps, with budget <= 0 meaning 10^7. When the budget is exhausted the
+// function returns (nil, false) conservatively.
+func HamiltonianCircuit(g *Graph, budget int) ([]int, bool) {
+	n := g.N()
+	if n < 3 {
+		return nil, false
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(v) < 2 {
+			return nil, false
+		}
+	}
+	if budget <= 0 {
+		budget = 10_000_000
+	}
+	path := make([]int, 1, n)
+	used := make([]bool, n)
+	used[0] = true
+	var extend func() bool
+	extend = func() bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		u := path[len(path)-1]
+		if len(path) == n {
+			return g.HasEdge(u, 0)
+		}
+		for _, v := range g.Neighbors(u) {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			path = append(path, v)
+			if extend() {
+				return true
+			}
+			path = path[:len(path)-1]
+			used[v] = false
+		}
+		return false
+	}
+	if extend() && budget > 0 {
+		return path, true
+	}
+	return nil, false
+}

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	graphs := []*Graph{
+		New(0), New(3), Path(6), Petersen(), Fig4(),
+		RandomConnected(rng, 30, 0.2),
+	}
+	for _, g := range graphs {
+		var b strings.Builder
+		if err := g.Write(&b); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("round trip parse: %v\ninput:\n%s", err, b.String())
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip changed sizes: %v vs %v", back, g)
+		}
+		for _, e := range g.Edges() {
+			if !back.HasEdge(e.U, e.V) {
+				t.Fatalf("round trip lost edge %v", e)
+			}
+		}
+	}
+}
+
+func TestEdgeListCommentsAndBlanks(t *testing.T) {
+	in := `
+# a custom network
+n 4
+
+0 1
+# middle comment
+1 2
+2 3
+1 2
+`
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("parsed n=%d m=%d, want 4, 3 (duplicate ignored)", g.N(), g.M())
+	}
+}
+
+func TestEdgeListRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"noHeader":   "0 1\n",
+		"badHeader":  "vertices 4\n0 1\n",
+		"badCount":   "n minusfour\n",
+		"negCount":   "n -2\n",
+		"shortLine":  "n 3\n0\n",
+		"longLine":   "n 3\n0 1 2\n",
+		"badVertex":  "n 3\n0 x\n",
+		"outOfRange": "n 3\n0 7\n",
+		"selfLoop":   "n 3\n1 1\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}

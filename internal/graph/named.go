@@ -1,0 +1,79 @@
+package graph
+
+// Named instances from the paper's figures.
+
+// N1 returns the Fig. 1 network: a ring drawn with eight processors, on
+// which the optimal gossip schedule rotates every message clockwise and
+// finishes in n - 1 rounds.
+func N1() *Graph { return Cycle(8) }
+
+// Petersen returns the Fig. 2 network N2, the Petersen graph: outer cycle
+// 0..4, inner pentagram 5..9, spokes i - (i+5). It has no Hamiltonian
+// circuit yet admits gossiping in n - 1 = 9 rounds even under the telephone
+// model, the paper's example that a Hamiltonian circuit is not necessary.
+func Petersen() *Graph {
+	g := New(10)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)     // outer cycle
+		g.AddEdge(i, i+5)         // spoke
+		g.AddEdge(i+5, (i+2)%5+5) // inner pentagram
+	}
+	return g
+}
+
+// N3StandIn returns the substitute for the Fig. 3 network N3, whose exact
+// adjacency is not recoverable from the text. The paper states only the
+// properties N3 exhibits: it has no Hamiltonian circuit, gossiping completes
+// in n - 1 rounds under the multicasting model, but not under the telephone
+// model. K_{2,3} is the smallest 2-connected non-Hamiltonian graph; the
+// exact-search experiment E3 certifies both gossip properties on it
+// (see EXPERIMENTS.md).
+func N3StandIn() *Graph { return CompleteBipartite(2, 3) }
+
+// Fig5TreeParents returns the parent array of the reconstructed Fig. 5 tree
+// (root 0 has parent -1). Vertex identifiers equal the DFS message labels,
+// exactly as printed beside the circles in the figure. The shape is pinned
+// down by the paper's Tables 1-4: n = 16, root children with intervals
+// [1,3], [4,10], [11,15]; vertex 1 has leaf children 2 and 3; vertex 4 has
+// children [5,7] and [8,10] each with two leaf children; the [11,15]
+// subtree is reconstructed as two chains (see DESIGN.md, substitution 2).
+func Fig5TreeParents() []int {
+	return []int{
+		-1, // 0: root
+		0,  // 1
+		1,  // 2
+		1,  // 3
+		0,  // 4
+		4,  // 5
+		5,  // 6
+		5,  // 7
+		4,  // 8
+		8,  // 9
+		8,  // 10
+		0,  // 11
+		11, // 12
+		12, // 13
+		11, // 14
+		14, // 15
+	}
+}
+
+// Fig4 returns a reconstruction of the Fig. 4 network: a 16-processor graph
+// whose minimum-depth spanning tree, as built by spantree.MinDepth with its
+// deterministic tie-breaking, is exactly the Fig. 5 tree with DFS labels
+// equal to vertex numbers. The graph is the Fig. 5 tree plus cross edges
+// chosen so that no vertex beats the root's eccentricity of 3 and no BFS
+// shortcut changes a parent (golden test E4 verifies both).
+func Fig4() *Graph {
+	g := New(16)
+	parents := Fig5TreeParents()
+	for v, p := range parents {
+		if p >= 0 {
+			g.AddEdge(v, p)
+		}
+	}
+	for _, e := range [][2]int{{1, 4}, {4, 11}, {2, 3}, {3, 4}, {5, 8}, {6, 7}, {9, 10}, {12, 14}} {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}

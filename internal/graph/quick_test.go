@@ -1,0 +1,187 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickConfig keeps generated sizes small enough for exhaustive-ish checks.
+var quickConfig = &quick.Config{MaxCount: 120}
+
+// boundedGraph derives a reproducible random connected graph from arbitrary
+// quick-generated integers.
+func boundedGraph(seed int64, rawN uint8, rawP uint8) *Graph {
+	n := 1 + int(rawN)%24
+	p := float64(rawP) / 255
+	return RandomConnected(rand.New(rand.NewSource(seed)), n, p)
+}
+
+// TestQuickBFSDistanceProperties checks metric axioms of BFS distances on
+// random connected graphs: d(v,v) = 0, symmetry, the triangle inequality,
+// and the one-edge Lipschitz property along edges.
+func TestQuickBFSDistanceProperties(t *testing.T) {
+	prop := func(seed int64, rawN, rawP uint8) bool {
+		g := boundedGraph(seed, rawN, rawP)
+		n := g.N()
+		dist := make([][]int, n)
+		for v := 0; v < n; v++ {
+			dist[v] = g.BFS(v)
+			if dist[v][v] != 0 {
+				return false
+			}
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if dist[u][v] != dist[v][u] || dist[u][v] < 0 {
+					return false
+				}
+				for w := 0; w < n; w++ {
+					if dist[u][w] > dist[u][v]+dist[v][w] {
+						return false
+					}
+				}
+			}
+		}
+		for _, e := range g.Edges() {
+			for v := 0; v < n; v++ {
+				d := dist[e.U][v] - dist[e.V][v]
+				if d < -1 || d > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRadiusDiameterRelation checks r <= D <= 2r and that the center
+// vertex achieves the radius — the inequality chain the n + r bound and the
+// 1.5-approximation argument rest on (r <= n/2 for connected graphs with
+// n >= 2 follows from D <= n-1 only on trees/paths; here we check the
+// universal relations).
+func TestQuickRadiusDiameterRelation(t *testing.T) {
+	prop := func(seed int64, rawN, rawP uint8) bool {
+		g := boundedGraph(seed, rawN, rawP)
+		if g.N() == 0 {
+			return true
+		}
+		r, c := g.RadiusCenter()
+		d := g.Diameter()
+		if r > d || d > 2*r && r > 0 {
+			return false
+		}
+		if g.Eccentricity(c) != r {
+			return false
+		}
+		for _, v := range g.Center() {
+			if g.Eccentricity(v) != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRadiusAtMostHalfN checks the paper's Section 4 fact used in the
+// 1.5-approximation argument: for any connected graph the radius is at most
+// n/2. (Sketch: a BFS tree from a diameter midpoint has depth <= ceil(D/2)
+// and D <= n-1.)
+func TestQuickRadiusAtMostHalfN(t *testing.T) {
+	prop := func(seed int64, rawN, rawP uint8) bool {
+		g := boundedGraph(seed, rawN, rawP)
+		if g.N() < 2 {
+			return true
+		}
+		return 2*g.Radius() <= g.N()
+	}
+	if err := quick.Check(prop, quickConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPruferDecodeAlwaysTree: every Prüfer sequence decodes to a
+// connected acyclic graph on len(seq)+2 vertices.
+func TestQuickPruferDecodeAlwaysTree(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		n := len(raw) + 2
+		seq := make([]int, len(raw))
+		for i, x := range raw {
+			seq[i] = int(x) % n
+		}
+		g := PruferDecode(seq)
+		return g.N() == n && g.M() == n-1 && g.IsConnected() && g.Validate() == nil
+	}
+	if err := quick.Check(prop, quickConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGeneratorsValidate: random generator parameters always produce
+// structurally valid, connected graphs.
+func TestQuickGeneratorsValidate(t *testing.T) {
+	prop := func(seed int64, rawN uint8, rawR uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(rawN)%40
+		radio := 0.05 + float64(rawR)/255
+		for _, g := range []*Graph{
+			RandomTree(rng, n),
+			RandomGeometric(rng, n, radio),
+			RandomConnected(rng, n, float64(rawR)/255),
+		} {
+			if g.N() != n || !g.IsConnected() || g.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBFSParentsFormTree: the parent pointers of a BFS traversal form
+// a spanning tree whose path lengths equal the BFS distances.
+func TestQuickBFSParentsFormTree(t *testing.T) {
+	prop := func(seed int64, rawN, rawP, rawSrc uint8) bool {
+		g := boundedGraph(seed, rawN, rawP)
+		src := int(rawSrc) % g.N()
+		parent, dist := g.BFSParents(src)
+		for v := 0; v < g.N(); v++ {
+			if v == src {
+				if parent[v] != -1 || dist[v] != 0 {
+					return false
+				}
+				continue
+			}
+			if parent[v] == -1 || dist[parent[v]] != dist[v]-1 || !g.HasEdge(v, parent[v]) {
+				return false
+			}
+			// Walk to the root in exactly dist[v] steps.
+			steps, x := 0, v
+			for x != src {
+				x = parent[x]
+				steps++
+				if steps > g.N() {
+					return false
+				}
+			}
+			if steps != dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickConfig); err != nil {
+		t.Fatal(err)
+	}
+}

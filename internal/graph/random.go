@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Random workloads. All generators take an explicit *rand.Rand so tests and
+// experiments are reproducible from a seed; none touch the global source.
+
+// RandomConnected returns a connected Erdős–Rényi style graph: each of the
+// C(n,2) candidate edges is present with probability p, and connectivity is
+// then repaired by linking each non-initial component to a uniformly random
+// vertex of the growing connected part. For p = 0 the result is a random
+// tree-ish sparse graph; for p = 1 it is K_n.
+func RandomConnected(rng *rand.Rand, n int, p float64) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: RandomConnected needs n >= 1, got %d", n))
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: RandomConnected probability %v out of [0,1]", p))
+	}
+	g := New(n)
+	if p > 0 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < p {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+	}
+	comps := g.Components()
+	if len(comps) > 1 {
+		// Attach every further component to a random vertex already absorbed.
+		absorbed := append([]int(nil), comps[0]...)
+		for _, comp := range comps[1:] {
+			u := comp[rng.Intn(len(comp))]
+			v := absorbed[rng.Intn(len(absorbed))]
+			g.AddEdge(u, v)
+			absorbed = append(absorbed, comp...)
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labelled tree on n vertices via a
+// random Prüfer sequence (n >= 1).
+func RandomTree(rng *rand.Rand, n int) *Graph {
+	switch {
+	case n < 1:
+		panic(fmt.Sprintf("graph: RandomTree needs n >= 1, got %d", n))
+	case n == 1:
+		return New(1)
+	case n == 2:
+		g := New(2)
+		g.AddEdge(0, 1)
+		return g
+	}
+	seq := make([]int, n-2)
+	for i := range seq {
+		seq[i] = rng.Intn(n)
+	}
+	return PruferDecode(seq)
+}
+
+// RandomGeometric returns a random geometric graph: n points uniform in the
+// unit square, adjacent when within Euclidean distance radius. This is the
+// standard abstraction of the wireless / static sensor networks that
+// motivate multicasting in the paper (a transmission with power r^alpha
+// reaches every receiver within distance r). Connectivity is repaired by
+// linking each stranded component to its nearest absorbed point, modelling
+// a minimal power boost for isolated sensors.
+func RandomGeometric(rng *rand.Rand, n int, radius float64) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: RandomGeometric needs n >= 1, got %d", n))
+	}
+	if radius <= 0 {
+		panic(fmt.Sprintf("graph: RandomGeometric needs radius > 0, got %v", radius))
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	g := New(n)
+	r2 := radius * radius
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+			if dx*dx+dy*dy <= r2 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	for comps := g.Components(); len(comps) > 1; comps = g.Components() {
+		// Join the two closest vertices in different components.
+		inFirst := make([]bool, n)
+		for _, v := range comps[0] {
+			inFirst[v] = true
+		}
+		bestU, bestV, bestD := -1, -1, math.Inf(1)
+		for _, u := range comps[0] {
+			for v := 0; v < n; v++ {
+				if inFirst[v] {
+					continue
+				}
+				dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+				if d := dx*dx + dy*dy; d < bestD {
+					bestU, bestV, bestD = u, v, d
+				}
+			}
+		}
+		g.AddEdge(bestU, bestV)
+	}
+	return g
+}
+
+// PruferDecode builds the labelled tree on len(seq)+2 vertices encoded by a
+// Prüfer sequence. Every labelled tree corresponds to exactly one sequence,
+// which the tests use to enumerate all small trees exhaustively.
+func PruferDecode(seq []int) *Graph {
+	n := len(seq) + 2
+	g := New(n)
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range seq {
+		if v < 0 || v >= n {
+			panic(fmt.Sprintf("graph: Prüfer symbol %d out of range [0,%d)", v, n))
+		}
+		degree[v]++
+	}
+	// Repeatedly join the smallest remaining leaf to the next sequence symbol.
+	// A simple O(n log n)-ish scan is plenty for test sizes.
+	used := make([]bool, n)
+	for _, v := range seq {
+		leaf := -1
+		for u := 0; u < n; u++ {
+			if !used[u] && degree[u] == 1 {
+				leaf = u
+				break
+			}
+		}
+		g.AddEdge(leaf, v)
+		used[leaf] = true
+		degree[v]--
+	}
+	// Two vertices of degree 1 remain; join them.
+	last := make([]int, 0, 2)
+	for u := 0; u < n; u++ {
+		if !used[u] && degree[u] == 1 {
+			last = append(last, u)
+		}
+	}
+	g.AddEdge(last[0], last[1])
+	return g
+}
+
+// AllTrees invokes fn on every labelled tree with n vertices (n >= 1),
+// enumerating all n^(n-2) Prüfer sequences for n >= 3. If fn returns false
+// the enumeration stops early. Intended for exhaustive small-case tests
+// (n <= 8 keeps the count at 262,144).
+func AllTrees(n int, fn func(*Graph) bool) {
+	switch {
+	case n < 1:
+		panic(fmt.Sprintf("graph: AllTrees needs n >= 1, got %d", n))
+	case n == 1:
+		fn(New(1))
+		return
+	case n == 2:
+		g := New(2)
+		g.AddEdge(0, 1)
+		fn(g)
+		return
+	}
+	seq := make([]int, n-2)
+	for {
+		if !fn(PruferDecode(seq)) {
+			return
+		}
+		// Odometer increment over base-n digits.
+		i := len(seq) - 1
+		for ; i >= 0; i-- {
+			seq[i]++
+			if seq[i] < n {
+				break
+			}
+			seq[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package mmc implements the multimessage multicasting problem that the
+// paper positions gossiping inside: "The gossiping problem is a restricted
+// version of the multimessage multicasting problem" (Section 2, refs
+// [12][13][14]). Each processor holds a set of messages and every message
+// must reach its own destination subset, under the same one-multicast-sent
+// / one-message-received per round model, with forwarding allowed.
+//
+// Gonzalez's own MMC algorithms target fully connected processors and
+// specific interconnection networks; this package provides a greedy
+// scheduler with forwarding for arbitrary networks, routing every message
+// along the BFS tree of its origin and packing transmissions round by
+// round. Gossiping and broadcasting fall out as the two extreme instances,
+// which the tests exercise as reductions.
+package mmc
+
+import (
+	"fmt"
+	"sort"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// Message is one multicast demand: Origin holds the message initially and
+// every processor in Dests must receive it (Origin itself is ignored if
+// listed). Message identifiers are indices into the instance slice.
+type Message struct {
+	Origin int
+	Dests  []int
+}
+
+// Instance is a multimessage multicasting problem on a network.
+type Instance struct {
+	G    *graph.Graph
+	Msgs []Message
+}
+
+// Validate checks instance well-formedness.
+func (inst *Instance) Validate() error {
+	n := inst.G.N()
+	if n == 0 {
+		return fmt.Errorf("mmc: empty network")
+	}
+	if !inst.G.IsConnected() {
+		return fmt.Errorf("mmc: network is disconnected")
+	}
+	if len(inst.Msgs) == 0 {
+		return fmt.Errorf("mmc: no messages")
+	}
+	for k, m := range inst.Msgs {
+		if m.Origin < 0 || m.Origin >= n {
+			return fmt.Errorf("mmc: message %d origin %d out of range", k, m.Origin)
+		}
+		for _, d := range m.Dests {
+			if d < 0 || d >= n {
+				return fmt.Errorf("mmc: message %d destination %d out of range", k, d)
+			}
+		}
+	}
+	return nil
+}
+
+// Gossip returns the gossiping instance on g: one message per processor,
+// destined to everybody else.
+func Gossip(g *graph.Graph) *Instance {
+	n := g.N()
+	msgs := make([]Message, n)
+	for v := 0; v < n; v++ {
+		dests := make([]int, 0, n-1)
+		for d := 0; d < n; d++ {
+			if d != v {
+				dests = append(dests, d)
+			}
+		}
+		msgs[v] = Message{Origin: v, Dests: dests}
+	}
+	return &Instance{G: g, Msgs: msgs}
+}
+
+// Broadcast returns the broadcasting instance: one message from src to all.
+func Broadcast(g *graph.Graph, src int) *Instance {
+	dests := make([]int, 0, g.N()-1)
+	for d := 0; d < g.N(); d++ {
+		if d != src {
+			dests = append(dests, d)
+		}
+	}
+	return &Instance{G: g, Msgs: []Message{{Origin: src, Dests: dests}}}
+}
+
+// relayNode is one vertex of a message's routing tree.
+type relayNode struct {
+	kids []int // children on paths toward still-needed destinations
+}
+
+// Schedule builds a communication schedule for the instance by greedy
+// round packing: every message is routed along the BFS shortest-path tree
+// of its origin (restricted to the union of origin-to-destination paths),
+// and each round every processor multicasts the held message that reaches
+// the most children still waiting for it, subject to the one-receive rule.
+// maxRounds (<= 0 for the default) caps the construction. Progress is
+// guaranteed: while some destination is uncovered there is a relay edge
+// whose tail holds the message, so each round delivers something.
+func Schedule(inst *Instance, maxRounds int) (*schedule.Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	n := inst.G.N()
+	nmsg := len(inst.Msgs)
+	if maxRounds <= 0 {
+		maxRounds = 4 * (n + 1) * (nmsg + 1)
+	}
+
+	// Routing trees: tree[k][v] lists v's relay children for message k.
+	tree := make([]map[int]*relayNode, nmsg)
+	holds := make([]map[int]bool, nmsg) // holds[k][v]
+	remaining := 0
+	for k, m := range inst.Msgs {
+		parent, dist := inst.G.BFSParents(m.Origin)
+		tree[k] = map[int]*relayNode{m.Origin: {}}
+		holds[k] = map[int]bool{m.Origin: true}
+		for _, d := range m.Dests {
+			if d == m.Origin {
+				continue
+			}
+			if dist[d] == graph.Unreachable {
+				return nil, fmt.Errorf("mmc: message %d cannot reach destination %d", k, d)
+			}
+			// Walk the BFS path back to the origin, adding relay edges.
+			for v := d; v != m.Origin; v = parent[v] {
+				p := parent[v]
+				node, ok := tree[k][p]
+				if !ok {
+					node = &relayNode{}
+					tree[k][p] = node
+				}
+				if !containsInt(node.kids, v) {
+					node.kids = append(node.kids, v)
+				}
+				if _, ok := tree[k][v]; !ok {
+					tree[k][v] = &relayNode{}
+				}
+			}
+		}
+		for _, node := range tree[k] {
+			sort.Ints(node.kids)
+			remaining += len(node.kids)
+		}
+	}
+
+	s := schedule.NewWithMessages(n, nmsg)
+	for t := 0; remaining > 0; t++ {
+		if t >= maxRounds {
+			return nil, fmt.Errorf("mmc: schedule did not complete within %d rounds", maxRounds)
+		}
+		busyRecv := make([]bool, n)
+		type sendPlan struct {
+			msg   int
+			dests []int
+		}
+		plans := make([]*sendPlan, n)
+		// Vertices pick greedily in a fixed order; each chooses the message
+		// with the most eligible waiting children this round.
+		for u := 0; u < n; u++ {
+			bestMsg, bestCount := -1, 0
+			for k := 0; k < nmsg; k++ {
+				if !holds[k][u] {
+					continue
+				}
+				node, ok := tree[k][u]
+				if !ok {
+					continue
+				}
+				count := 0
+				for _, c := range node.kids {
+					if !holds[k][c] && !busyRecv[c] {
+						count++
+					}
+				}
+				if count > bestCount {
+					bestMsg, bestCount = k, count
+				}
+			}
+			if bestMsg == -1 {
+				continue
+			}
+			node := tree[bestMsg][u]
+			var dests []int
+			for _, c := range node.kids {
+				if !holds[bestMsg][c] && !busyRecv[c] {
+					busyRecv[c] = true
+					dests = append(dests, c)
+				}
+			}
+			plans[u] = &sendPlan{bestMsg, dests}
+		}
+		progressed := false
+		for u, plan := range plans {
+			if plan == nil {
+				continue
+			}
+			progressed = true
+			s.AddSend(t, plan.msg, u, plan.dests...)
+			for _, d := range plan.dests {
+				holds[plan.msg][d] = true
+				remaining--
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("mmc: stalled at round %d with %d deliveries outstanding", t, remaining)
+		}
+	}
+	return s, nil
+}
+
+// Verify replays s under the model and checks that every message reached
+// every one of its destinations.
+func Verify(inst *Instance, s *schedule.Schedule) error {
+	n := inst.G.N()
+	init := make([]*schedule.Bitset, n)
+	for v := range init {
+		init[v] = schedule.NewBitset(len(inst.Msgs))
+	}
+	for k, m := range inst.Msgs {
+		init[m.Origin].Set(k)
+	}
+	res, err := schedule.Run(inst.G, s, schedule.Options{Initial: init})
+	if err != nil {
+		return err
+	}
+	for k, m := range inst.Msgs {
+		for _, d := range m.Dests {
+			if !res.Holds[d].Has(k) {
+				return fmt.Errorf("mmc: message %d never reached destination %d", k, d)
+			}
+		}
+	}
+	return nil
+}
+
+// LowerBound returns a cheap lower bound on any schedule for the instance:
+// the maximum over processors of the number of messages it must receive
+// (one receive per round), and the maximum origin-to-destination distance.
+func LowerBound(inst *Instance) int {
+	n := inst.G.N()
+	inbound := make([]int, n)
+	far := 0
+	for _, m := range inst.Msgs {
+		dist := inst.G.BFS(m.Origin)
+		for _, d := range m.Dests {
+			if d == m.Origin {
+				continue
+			}
+			inbound[d]++
+			if dist[d] > far {
+				far = dist[d]
+			}
+		}
+	}
+	bound := far
+	for _, x := range inbound {
+		if x > bound {
+			bound = x
+		}
+	}
+	return bound
+}
+
+func containsInt(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,177 @@
+package mmc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multigossip/internal/core"
+	"multigossip/internal/graph"
+)
+
+func TestGossipReduction(t *testing.T) {
+	// Gossiping is the all-destinations MMC instance; the greedy scheduler
+	// must solve it on every family, within a small factor of the
+	// structured ConcurrentUpDown bound.
+	rng := rand.New(rand.NewSource(33))
+	graphs := []*graph.Graph{
+		graph.Path(9), graph.Cycle(10), graph.Star(10), graph.Grid(3, 4),
+		graph.Petersen(), graph.RandomConnected(rng, 20, 0.15),
+	}
+	for _, g := range graphs {
+		inst := Gossip(g)
+		s, err := Schedule(inst, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if err := Verify(inst, s); err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if s.Time() < LowerBound(inst) {
+			t.Fatalf("%v: time %d beats lower bound %d", g, s.Time(), LowerBound(inst))
+		}
+		cud, err := core.Gossip(g, core.ConcurrentUpDown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Greedy MMC routes over per-origin BFS trees, so it should be in
+		// the same ballpark as the structured algorithm; 3x is generous.
+		if s.Time() > 3*cud.Schedule.Time() {
+			t.Fatalf("%v: MMC gossip %d vs CUD %d", g, s.Time(), cud.Schedule.Time())
+		}
+	}
+}
+
+func TestBroadcastReduction(t *testing.T) {
+	// Broadcasting is the single-message instance: greedy MMC must match
+	// the eccentricity exactly, because the BFS relay tree is followed.
+	g := graph.Grid(4, 5)
+	for src := 0; src < g.N(); src += 3 {
+		inst := Broadcast(g, src)
+		s, err := Schedule(inst, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(inst, s); err != nil {
+			t.Fatal(err)
+		}
+		if want := g.Eccentricity(src); s.Time() != want {
+			t.Fatalf("src=%d: time %d, want ecc %d", src, s.Time(), want)
+		}
+	}
+}
+
+func TestUnicastBatch(t *testing.T) {
+	// A pure point-to-point batch: each message has a single destination.
+	g := graph.Cycle(8)
+	inst := &Instance{G: g, Msgs: []Message{
+		{Origin: 0, Dests: []int{4}},
+		{Origin: 1, Dests: []int{5}},
+		{Origin: 2, Dests: []int{6}},
+		{Origin: 3, Dests: []int{7}},
+	}}
+	s, err := Schedule(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(inst, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Time() < 4 {
+		t.Fatalf("time %d below the distance bound 4", s.Time())
+	}
+}
+
+func TestMultiSourceSharedDest(t *testing.T) {
+	// Five messages converging on one destination: the receive bottleneck
+	// forces at least five rounds.
+	g := graph.Star(7)
+	inst := &Instance{G: g, Msgs: []Message{
+		{Origin: 1, Dests: []int{2}},
+		{Origin: 3, Dests: []int{2}},
+		{Origin: 4, Dests: []int{2}},
+		{Origin: 5, Dests: []int{2}},
+		{Origin: 6, Dests: []int{2}},
+	}}
+	s, err := Schedule(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(inst, s); err != nil {
+		t.Fatal(err)
+	}
+	if lb := LowerBound(inst); lb != 5 {
+		t.Fatalf("LowerBound = %d, want 5", lb)
+	}
+	if s.Time() < 5 {
+		t.Fatalf("time %d below receive bottleneck", s.Time())
+	}
+}
+
+func TestDestIncludesOriginIgnored(t *testing.T) {
+	g := graph.Path(3)
+	inst := &Instance{G: g, Msgs: []Message{{Origin: 0, Dests: []int{0, 2}}}}
+	s, err := Schedule(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(inst, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []*Instance{
+		{G: graph.New(0), Msgs: []Message{{}}},
+		{G: graph.Path(3), Msgs: nil},
+		{G: graph.Path(3), Msgs: []Message{{Origin: 9, Dests: []int{1}}}},
+		{G: graph.Path(3), Msgs: []Message{{Origin: 0, Dests: []int{7}}}},
+	}
+	d := graph.New(3)
+	d.AddEdge(0, 1)
+	cases = append(cases, &Instance{G: d, Msgs: []Message{{Origin: 0, Dests: []int{2}}}})
+	for i, inst := range cases {
+		if err := inst.Validate(); err == nil {
+			if _, err := Schedule(inst, 0); err == nil {
+				t.Errorf("case %d: invalid instance accepted", i)
+			}
+		}
+	}
+}
+
+// TestQuickRandomInstances: arbitrary random instances complete, verify,
+// and respect the lower bound.
+func TestQuickRandomInstances(t *testing.T) {
+	prop := func(seed int64, rawN, rawK uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(rawN)%16
+		g := graph.RandomConnected(rng, n, 0.25)
+		k := 1 + int(rawK)%12
+		msgs := make([]Message, k)
+		for i := range msgs {
+			origin := rng.Intn(n)
+			var dests []int
+			for d := 0; d < n; d++ {
+				if d != origin && rng.Float64() < 0.4 {
+					dests = append(dests, d)
+				}
+			}
+			if len(dests) == 0 {
+				dests = []int{(origin + 1) % n}
+			}
+			msgs[i] = Message{Origin: origin, Dests: dests}
+		}
+		inst := &Instance{G: g, Msgs: msgs}
+		s, err := Schedule(inst, 0)
+		if err != nil {
+			return false
+		}
+		if Verify(inst, s) != nil {
+			return false
+		}
+		return s.Time() >= LowerBound(inst)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

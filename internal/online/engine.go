@@ -1,0 +1,161 @@
+// Package online implements the distributed variant discussed in
+// Section 4: the n processors execute the gossip protocol themselves, each
+// knowing only its limited share of global information — its DFS label i,
+// subtree end j, level k, lip count w, the total n, and the labels of its
+// tree neighbours. A goroutine-per-processor engine drives them in
+// synchronous rounds (the paper's software-barrier synchronisation), and
+// the transmissions they emit are collected into a schedule that the tests
+// verify to be identical to the offline construction.
+package online
+
+import (
+	"fmt"
+	"sync"
+
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+// Transmission is what a protocol instance emits in one round.
+type Transmission struct {
+	Msg      int
+	ToParent bool
+	Children []int // child labels to multicast to
+}
+
+// Protocol is the local behaviour of one processor. The engine calls
+// Deliver for the (at most one) message arriving at time t, then Step for
+// the round-t transmission; Done reports that the processor holds all n
+// messages and has nothing left to send.
+type Protocol interface {
+	Deliver(t int, msg int, fromParent bool)
+	Step(t int) *Transmission
+	Done() bool
+}
+
+// Run drives one Protocol per vertex of the labelled tree in synchronous
+// rounds, each protocol on its own goroutine, and returns the schedule the
+// ensemble produced. It stops when every protocol reports Done, failing if
+// two messages target one processor in a round (a protocol bug) or if the
+// run exceeds maxRounds (<= 0 for the default 4(n + height) + 8).
+func Run(l *spantree.Labeled, protocols []Protocol, maxRounds int) (*schedule.Schedule, error) {
+	t := l.T
+	n := l.N()
+	if len(protocols) != n {
+		return nil, fmt.Errorf("online: %d protocols for %d processors", len(protocols), n)
+	}
+	if maxRounds <= 0 {
+		maxRounds = 4*(n+t.Height) + 8
+	}
+	s := schedule.New(n)
+	if n <= 1 {
+		return s, nil
+	}
+
+	type tick struct {
+		t          int
+		msg        int // -1 when nothing arrives
+		fromParent bool
+		stop       bool
+	}
+	type reply struct {
+		id   int
+		send *Transmission
+		done bool
+	}
+	ticks := make([]chan tick, n)
+	replies := make(chan reply, n)
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		ticks[v] = make(chan tick, 1)
+		wg.Add(1)
+		go func(id int, p Protocol) {
+			defer wg.Done()
+			for tk := range ticks[id] {
+				if tk.stop {
+					return
+				}
+				if tk.msg >= 0 {
+					p.Deliver(tk.t, tk.msg, tk.fromParent)
+				}
+				replies <- reply{id, p.Step(tk.t), p.Done()}
+			}
+		}(v, protocols[v])
+	}
+	stopAll := func() {
+		for v := 0; v < n; v++ {
+			ticks[v] <- tick{stop: true}
+		}
+		wg.Wait()
+	}
+
+	type delivery struct {
+		msg        int
+		fromParent bool
+	}
+	incoming := make([]*delivery, n)
+	var runErr error
+	for round := 0; ; round++ {
+		if round > maxRounds {
+			runErr = fmt.Errorf("online: exceeded %d rounds", maxRounds)
+			break
+		}
+		for v := 0; v < n; v++ {
+			tk := tick{t: round, msg: -1}
+			if d := incoming[v]; d != nil {
+				tk.msg, tk.fromParent = d.msg, d.fromParent
+				incoming[v] = nil
+			}
+			ticks[v] <- tk
+		}
+		allDone := true
+		anySend := false
+		next := make([]*delivery, n)
+		for c := 0; c < n; c++ {
+			r := <-replies
+			if !r.done {
+				allDone = false
+			}
+			if r.send == nil {
+				continue
+			}
+			anySend = true
+			var dests []int
+			if r.send.ToParent {
+				dests = append(dests, t.Parent[r.id])
+			}
+			dests = append(dests, r.send.Children...)
+			if len(dests) == 0 {
+				runErr = fmt.Errorf("online: processor %d sent to nobody at round %d", r.id, round)
+				break
+			}
+			for _, d := range dests {
+				if d < 0 || d >= n {
+					runErr = fmt.Errorf("online: processor %d targets %d at round %d", r.id, d, round)
+					break
+				}
+				if next[d] != nil {
+					runErr = fmt.Errorf("online: processor %d receives two messages at time %d", d, round+1)
+					break
+				}
+				next[d] = &delivery{r.send.Msg, r.id == t.Parent[d]}
+			}
+			if runErr != nil {
+				break
+			}
+			s.AddSend(round, r.send.Msg, r.id, dests...)
+		}
+		if runErr != nil {
+			break
+		}
+		incoming = next
+		if allDone && !anySend {
+			break
+		}
+	}
+	stopAll()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return s, nil
+}

@@ -1,0 +1,155 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"multigossip/internal/core"
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+func labeledFor(t *testing.T, g *graph.Graph) *spantree.Labeled {
+	t.Helper()
+	tr, err := spantree.MinDepth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spantree.Label(tr)
+}
+
+// TestOnlineCUDMatchesOffline is the E17 reproduction: the distributed
+// execution, where every processor derives its behaviour from local data
+// only, must produce transmission-for-transmission the schedule the offline
+// constructor builds.
+func TestOnlineCUDMatchesOffline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	graphs := []*graph.Graph{
+		graph.Path(2), graph.Path(9), graph.Star(8), graph.Cycle(10),
+		graph.Fig4(), graph.KAryTree(15, 2), graph.Petersen(),
+		graph.RandomTree(rng, 40), graph.RandomConnected(rng, 25, 0.15),
+	}
+	for _, g := range graphs {
+		l := labeledFor(t, g)
+		got, err := Run(l, NewConcurrentUpDown(l), 0)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		want := core.BuildConcurrentUpDown(l)
+		got.Normalize()
+		want.Normalize()
+		if !got.Equal(want) {
+			t.Fatalf("%v: online run differs from offline schedule\nonline:\n%s\noffline:\n%s", g, got, want)
+		}
+		if _, err := schedule.CheckGossip(l.T.Graph(), got); err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+	}
+}
+
+func TestOnlineSimpleMatchesOffline(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	graphs := []*graph.Graph{
+		graph.Path(7), graph.Star(6), graph.Grid(3, 3),
+		graph.RandomTree(rng, 30),
+	}
+	for _, g := range graphs {
+		l := labeledFor(t, g)
+		got, err := Run(l, NewSimple(l), 0)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		want := core.BuildSimple(l)
+		got.Normalize()
+		want.Normalize()
+		if !got.Equal(want) {
+			t.Fatalf("%v: online Simple differs from offline", g)
+		}
+	}
+}
+
+func TestOnlineExhaustiveSmallTrees(t *testing.T) {
+	maxN := 6
+	if testing.Short() {
+		maxN = 5
+	}
+	for n := 2; n <= maxN; n++ {
+		graph.AllTrees(n, func(g *graph.Graph) bool {
+			tr, err := spantree.BFSTree(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := spantree.Label(tr)
+			got, err := Run(l, NewConcurrentUpDown(l), 0)
+			if err != nil {
+				t.Fatalf("n=%d %v: %v", n, g, err)
+			}
+			want := core.BuildConcurrentUpDown(l)
+			got.Normalize()
+			want.Normalize()
+			if !got.Equal(want) {
+				t.Fatalf("n=%d %v: online differs from offline", n, g)
+			}
+			return true
+		})
+	}
+}
+
+func TestOnlineTrivial(t *testing.T) {
+	l := spantree.Label(spantree.MustFromParents([]int{-1}))
+	s, err := Run(l, NewConcurrentUpDown(l), 0)
+	if err != nil || s.Time() != 0 {
+		t.Fatalf("n=1: %v, time=%d", err, s.Time())
+	}
+}
+
+func TestOnlineProtocolCountMismatch(t *testing.T) {
+	l := labeledFor(t, graph.Path(4))
+	if _, err := Run(l, NewConcurrentUpDown(l)[:2], 0); err == nil {
+		t.Fatal("accepted wrong protocol count")
+	}
+}
+
+// conflictProto deliberately sends the same message to everyone every
+// round, forcing a double receive that the engine must detect.
+type conflictProto struct {
+	id    int
+	peers []int
+}
+
+func (c *conflictProto) Deliver(int, int, bool) {}
+func (c *conflictProto) Step(t int) *Transmission {
+	if t > 0 || len(c.peers) == 0 {
+		return nil
+	}
+	return &Transmission{Msg: c.id, Children: c.peers}
+}
+func (c *conflictProto) Done() bool { return false }
+
+func TestOnlineDetectsReceiveConflict(t *testing.T) {
+	l := labeledFor(t, graph.Path(3))
+	// Both endpoints of the path target the middle vertex at round 0.
+	protos := []Protocol{
+		&conflictProto{0, []int{1}},
+		&conflictProto{1, nil},
+		&conflictProto{2, []int{1}},
+	}
+	if _, err := Run(l, protos, 5); err == nil {
+		t.Fatal("double receive not detected")
+	}
+}
+
+// stallProto never finishes, to exercise the round cap.
+type stallProto struct{}
+
+func (stallProto) Deliver(int, int, bool) {}
+func (stallProto) Step(int) *Transmission { return nil }
+func (stallProto) Done() bool             { return false }
+
+func TestOnlineRoundCap(t *testing.T) {
+	l := labeledFor(t, graph.Path(3))
+	if _, err := Run(l, []Protocol{stallProto{}, stallProto{}, stallProto{}}, 7); err == nil {
+		t.Fatal("round cap not enforced")
+	}
+}

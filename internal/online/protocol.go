@@ -1,0 +1,223 @@
+package online
+
+import (
+	"fmt"
+
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+// cudNode executes ConcurrentUpDown at one vertex from purely local data:
+// (i, j, k, w, n), the child labels with their subtree ends, and whether it
+// is the root. All Propagate-Up and Propagate-Down b-message transmissions
+// are computable at time zero; o-message forwards are decided on receipt,
+// exactly as steps D1-D2 prescribe.
+type cudNode struct {
+	id, n, i, j, k, w int
+	root, leaf        bool
+	children          []int
+	childHi           []int
+	pending           map[int]*Transmission
+	delayedUsed       int
+	holds             *schedule.Bitset
+}
+
+// NewConcurrentUpDown returns the protocol instances for every vertex of a
+// labelled tree. Each instance receives only the local information the
+// paper's online adaptation disseminates: its own tuple and its immediate
+// tree neighbourhood.
+func NewConcurrentUpDown(l *spantree.Labeled) []Protocol {
+	n := l.N()
+	out := make([]Protocol, n)
+	for v := 0; v < n; v++ {
+		i, j := l.Interval(v)
+		node := &cudNode{
+			id:       v,
+			n:        n,
+			i:        i,
+			j:        j,
+			k:        l.T.Level[v],
+			w:        l.LipCount(v),
+			root:     v == l.T.Root,
+			leaf:     l.T.IsLeaf(v),
+			children: l.T.Children[v],
+			pending:  make(map[int]*Transmission),
+			holds:    schedule.NewBitset(n),
+		}
+		node.childHi = make([]int, len(node.children))
+		for idx, c := range node.children {
+			node.childHi[idx] = l.Hi[c]
+		}
+		node.holds.Set(i)
+		node.planFixedSends()
+		out[v] = node
+	}
+	return out
+}
+
+// owner returns the child whose subtree holds message m, or -1.
+func (nd *cudNode) owner(m int) int {
+	for idx, c := range nd.children {
+		if m >= c && m <= nd.childHi[idx] {
+			return c
+		}
+	}
+	return -1
+}
+
+// record merges a transmission into the plan for the given time; the
+// algorithm guarantees coincident up/down sends carry the same message.
+func (nd *cudNode) record(time, msg int, toParent bool, children []int) {
+	if !toParent && len(children) == 0 {
+		return
+	}
+	tx, ok := nd.pending[time]
+	if !ok {
+		tx = &Transmission{Msg: msg}
+		nd.pending[time] = tx
+	} else if tx.Msg != msg {
+		panic(fmt.Sprintf("online: vertex %d schedules messages %d and %d at time %d", nd.id, tx.Msg, msg, time))
+	}
+	tx.ToParent = tx.ToParent || toParent
+	tx.Children = append(tx.Children, children...)
+}
+
+// planFixedSends installs every transmission computable at time zero:
+// Propagate-Up steps U3-U4 and Propagate-Down step D3.
+func (nd *cudNode) planFixedSends() {
+	if !nd.root {
+		if nd.w == 1 {
+			nd.record(0, nd.i, true, nil)
+		}
+		for m := nd.i + nd.w; m <= nd.j; m++ {
+			nd.record(m-nd.k, m, true, nil)
+		}
+	}
+	if nd.leaf {
+		return
+	}
+	for m := nd.i; m <= nd.j; m++ {
+		time := m - nd.k
+		if m == nd.i && nd.i == nd.k {
+			time = nd.j - nd.k + 1 // includes the root's message 0 at time n
+		}
+		dests := nd.children
+		if o := nd.owner(m); o != -1 {
+			dests = make([]int, 0, len(nd.children)-1)
+			for _, c := range nd.children {
+				if c != o {
+					dests = append(dests, c)
+				}
+			}
+		}
+		nd.record(time, m, false, dests)
+	}
+}
+
+// Deliver implements steps D1-D2 (and stores arrivals from children).
+func (nd *cudNode) Deliver(t int, msg int, fromParent bool) {
+	nd.holds.Set(msg)
+	if !fromParent || nd.leaf {
+		return
+	}
+	if msg >= nd.i && msg <= nd.j {
+		return // b-messages from the parent never occur in ConcurrentUpDown
+	}
+	if t == nd.i-nd.k || t == nd.i-nd.k+1 {
+		nd.record(nd.j-nd.k+1+nd.delayedUsed, msg, false, nd.children)
+		nd.delayedUsed++
+		return
+	}
+	nd.record(t, msg, false, nd.children)
+}
+
+// Step emits the transmission planned for round t, if any.
+func (nd *cudNode) Step(t int) *Transmission {
+	tx, ok := nd.pending[t]
+	if !ok {
+		return nil
+	}
+	delete(nd.pending, t)
+	return tx
+}
+
+// Done reports all messages held and nothing left to transmit.
+func (nd *cudNode) Done() bool { return nd.holds.Full() && len(nd.pending) == 0 }
+
+// simpleNode executes algorithm Simple at one vertex: relay the subtree
+// interval upward at fixed times, and (root) pump message m downward at
+// time n - 2 + m, inner vertices forwarding parent messages on arrival.
+type simpleNode struct {
+	id, n, i, j, k int
+	root, leaf     bool
+	children       []int
+	pending        map[int]*Transmission
+	holds          *schedule.Bitset
+}
+
+// NewSimple returns the Simple protocol instances for a labelled tree.
+func NewSimple(l *spantree.Labeled) []Protocol {
+	n := l.N()
+	out := make([]Protocol, n)
+	for v := 0; v < n; v++ {
+		i, j := l.Interval(v)
+		node := &simpleNode{
+			id:       v,
+			n:        n,
+			i:        i,
+			j:        j,
+			k:        l.T.Level[v],
+			root:     v == l.T.Root,
+			leaf:     l.T.IsLeaf(v),
+			children: l.T.Children[v],
+			pending:  make(map[int]*Transmission),
+			holds:    schedule.NewBitset(n),
+		}
+		node.holds.Set(i)
+		if !node.root {
+			for m := i; m <= j; m++ {
+				node.add(m-node.k, m, true, nil)
+			}
+		}
+		if node.root && !node.leaf {
+			for m := 0; m < n; m++ {
+				node.add(n-2+m, m, false, node.children)
+			}
+		}
+		out[v] = node
+	}
+	return out
+}
+
+func (nd *simpleNode) add(time, msg int, toParent bool, children []int) {
+	tx, ok := nd.pending[time]
+	if !ok {
+		tx = &Transmission{Msg: msg}
+		nd.pending[time] = tx
+	} else if tx.Msg != msg {
+		panic(fmt.Sprintf("online: Simple vertex %d schedules messages %d and %d at time %d", nd.id, tx.Msg, msg, time))
+	}
+	tx.ToParent = tx.ToParent || toParent
+	tx.Children = append(tx.Children, children...)
+}
+
+// Deliver forwards every parent-received message straight down.
+func (nd *simpleNode) Deliver(t int, msg int, fromParent bool) {
+	nd.holds.Set(msg)
+	if fromParent && !nd.leaf {
+		nd.add(t, msg, false, nd.children)
+	}
+}
+
+// Step emits the transmission planned for round t, if any.
+func (nd *simpleNode) Step(t int) *Transmission {
+	tx, ok := nd.pending[t]
+	if !ok {
+		return nil
+	}
+	delete(nd.pending, t)
+	return tx
+}
+
+// Done reports all messages held and nothing left to transmit.
+func (nd *simpleNode) Done() bool { return nd.holds.Full() && len(nd.pending) == 0 }

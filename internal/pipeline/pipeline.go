@@ -1,0 +1,91 @@
+// Package pipeline analyses steady-state gossip throughput: when an
+// application gossips repeatedly (the paper's motivation for doing tree
+// gossip well — "in many applications, one has to execute the gossiping
+// algorithms a large number of times"), successive operations can overlap
+// if the schedule's send and receive slots leave room. Overlaying shifted
+// copies of a schedule and re-validating measures the minimum feasible
+// period — the inverse throughput — against the n + r latency.
+//
+// The answer for ConcurrentUpDown is essentially negative and instructive:
+// its receive slots are nearly dense (that density is *why* it meets
+// n + r), so the minimum period is close to the latency and pipelining
+// buys little. Throughput here equals 1/latency, unlike in store-and-
+// forward systems with idle capacity.
+package pipeline
+
+import (
+	"fmt"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// Overlay builds the schedule that runs `copies` instances of s, instance
+// i shifted by i*period rounds, with instance i's message m renumbered to
+// m + i*NMsg. The result may violate the model if period is too small;
+// Feasible checks that.
+func Overlay(s *schedule.Schedule, copies, period int) (*schedule.Schedule, error) {
+	if copies < 1 {
+		return nil, fmt.Errorf("pipeline: need at least one copy, got %d", copies)
+	}
+	if period < 0 {
+		return nil, fmt.Errorf("pipeline: negative period %d", period)
+	}
+	out := schedule.NewWithMessages(s.N, copies*s.NMsg)
+	for c := 0; c < copies; c++ {
+		shift := c * period
+		base := c * s.NMsg
+		for t, round := range s.Rounds {
+			for _, tx := range round {
+				out.AddSend(t+shift, tx.Msg+base, tx.From, tx.To...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Feasible reports whether `copies` instances of s at the given period
+// compose into a valid complete schedule on g. Initial holds give every
+// processor its own message in every instance (the data of future gossip
+// operations exists up front; what is measured is pure communication
+// capacity).
+func Feasible(g *graph.Graph, s *schedule.Schedule, copies, period int) error {
+	overlay, err := Overlay(s, copies, period)
+	if err != nil {
+		return err
+	}
+	init := make([]*schedule.Bitset, s.N)
+	for v := range init {
+		init[v] = schedule.NewBitset(copies * s.NMsg)
+		for c := 0; c < copies; c++ {
+			init[v].Set(v + c*s.NMsg)
+		}
+	}
+	res, err := schedule.Run(g, overlay, schedule.Options{Initial: init})
+	if err != nil {
+		return err
+	}
+	for v, h := range res.Holds {
+		if !h.Full() {
+			return fmt.Errorf("pipeline: processor %d incomplete at period %d", v, period)
+		}
+	}
+	return nil
+}
+
+// MinPeriod returns the smallest period in [1, maxPeriod] at which
+// `copies` instances compose validly, or maxPeriod+1 if none does.
+// Feasibility is probed by full re-validation rather than assumed
+// monotone; the scan returns the first feasible period, and callers that
+// care can confirm larger periods independently.
+func MinPeriod(g *graph.Graph, s *schedule.Schedule, copies, maxPeriod int) (int, error) {
+	if maxPeriod < 1 {
+		return 0, fmt.Errorf("pipeline: maxPeriod must be positive")
+	}
+	for p := 1; p <= maxPeriod; p++ {
+		if err := Feasible(g, s, copies, p); err == nil {
+			return p, nil
+		}
+	}
+	return maxPeriod + 1, nil
+}

@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"testing"
+
+	"multigossip/internal/core"
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+func cudFor(t *testing.T, g *graph.Graph) *schedule.Schedule {
+	t.Helper()
+	tr, err := spantree.MinDepth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.GossipOnTree(tr)[core.ConcurrentUpDown]().Schedule
+}
+
+func TestOverlaySingleCopyIsOriginalShape(t *testing.T) {
+	g := graph.Star(6)
+	s := cudFor(t, g)
+	o, err := Overlay(s, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Time() != s.Time() || o.Transmissions() != s.Transmissions() {
+		t.Fatalf("single-copy overlay changed the schedule")
+	}
+	if err := Feasible(g, s, 1, 1); err != nil {
+		t.Fatalf("single copy infeasible: %v", err)
+	}
+}
+
+func TestFeasibleAtFullLatency(t *testing.T) {
+	// Sequential execution (period = full schedule length) always works.
+	for _, g := range []*graph.Graph{graph.Path(7), graph.Star(8), graph.Cycle(9)} {
+		s := cudFor(t, g)
+		if err := Feasible(g, s, 3, s.Time()); err != nil {
+			t.Fatalf("%v: sequential composition infeasible: %v", g, err)
+		}
+	}
+}
+
+func TestInfeasibleAtTinyPeriod(t *testing.T) {
+	// Period 1 collides immediately on any nontrivial network: the root's
+	// receive slots are dense.
+	g := graph.Star(8)
+	s := cudFor(t, g)
+	if err := Feasible(g, s, 2, 1); err == nil {
+		t.Fatal("period 1 reported feasible")
+	}
+}
+
+func TestMinPeriodBounds(t *testing.T) {
+	// The minimum period is at least n-1 (each copy needs n-1 receives per
+	// processor) and at most the full latency n+r.
+	for _, g := range []*graph.Graph{graph.Star(8), graph.Path(7), graph.Cycle(8), graph.Grid(3, 3)} {
+		s := cudFor(t, g)
+		n := g.N()
+		p, err := MinPeriod(g, s, 3, s.Time()+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < n-1 {
+			t.Fatalf("%v: period %d below the receive-capacity bound %d", g, p, n-1)
+		}
+		if p > s.Time() {
+			t.Fatalf("%v: period %d exceeds the latency %d", g, p, s.Time())
+		}
+		// Sanity: the found period really composes with one more copy.
+		if err := Feasible(g, s, 4, p); err != nil {
+			t.Fatalf("%v: period %d fails with 4 copies: %v", g, p, err)
+		}
+	}
+}
+
+func TestOverlayRejectsBadInput(t *testing.T) {
+	s := schedule.New(3)
+	if _, err := Overlay(s, 0, 1); err == nil {
+		t.Error("zero copies accepted")
+	}
+	if _, err := Overlay(s, 2, -1); err == nil {
+		t.Error("negative period accepted")
+	}
+	if _, err := MinPeriod(graph.Path(3), s, 2, 0); err == nil {
+		t.Error("non-positive maxPeriod accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package schedule
+
+import "math/bits"
+
+// Bitset is a fixed-capacity bitset used for hold sets h_v: bit m is set
+// when the processor holds message m. With n processors each holding up to
+// n messages the simulator keeps n bitsets of n bits, so the representation
+// matters: one machine word covers 64 messages.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns an empty bitset with capacity for bits 0..n-1.
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity.
+func (b *Bitset) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << uint(i&63) }
+
+// Clear clears bit i.
+func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << uint(i&63) }
+
+// Has reports whether bit i is set.
+func (b *Bitset) Has(i int) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Full reports whether every bit 0..n-1 is set.
+func (b *Bitset) Full() bool { return b.Count() == b.n }
+
+// Clone returns an independent copy.
+func (b *Bitset) Clone() *Bitset {
+	return &Bitset{words: append([]uint64(nil), b.words...), n: b.n}
+}
+
+// Missing returns the indices of unset bits, ascending.
+func (b *Bitset) Missing() []int {
+	var out []int
+	for i := 0; i < b.n; i++ {
+		if !b.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

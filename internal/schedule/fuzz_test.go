@@ -1,0 +1,73 @@
+package schedule
+
+import (
+	"encoding/json"
+	"testing"
+
+	"multigossip/internal/graph"
+)
+
+// FuzzUnmarshalJSON: arbitrary bytes must never panic the decoder, and
+// anything it accepts must re-encode and decode to an equal schedule.
+func FuzzUnmarshalJSON(f *testing.F) {
+	seed := ringSchedule(5)
+	data, err := json.Marshal(seed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`{"version":1,"processors":2,"messages":2,"time":1,"sends":[{"t":0,"msg":0,"from":0,"to":[1]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var s Schedule
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return // rejected: fine
+		}
+		re, err := json.Marshal(&s)
+		if err != nil {
+			t.Fatalf("accepted schedule failed to re-encode: %v", err)
+		}
+		var s2 Schedule
+		if err := json.Unmarshal(re, &s2); err != nil {
+			t.Fatalf("re-encoded schedule failed to decode: %v", err)
+		}
+		s.Normalize()
+		s2.Normalize()
+		if !s.Equal(&s2) {
+			t.Fatal("decode/encode/decode not stable")
+		}
+	})
+}
+
+// FuzzValidator: structurally arbitrary schedules derived from fuzz bytes
+// must never panic Run; they are either cleanly rejected or simulated.
+func FuzzValidator(f *testing.F) {
+	f.Add(5, []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add(3, []byte{9, 9, 9})
+	f.Fuzz(func(t *testing.T, rawN int, ops []byte) {
+		n := 2 + abs(rawN)%8
+		g := graph.Cycle(max(3, n))
+		n = g.N()
+		s := New(n)
+		for i := 0; i+3 < len(ops); i += 4 {
+			tm := int(ops[i]) % 12
+			msg := int(ops[i+1]) % n
+			from := int(ops[i+2]) % n
+			to := int(ops[i+3]) % n
+			if to == from {
+				to = (to + 1) % n
+			}
+			s.AddSend(tm, msg, from, to)
+		}
+		_, _ = Run(g, s, Options{})                    // must not panic
+		_, _ = Run(g, s, Options{RequireUseful: true}) // nor in strict mode
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

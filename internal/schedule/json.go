@@ -1,0 +1,68 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonSchedule is the stable on-disk shape: version marker plus a flat
+// list of sends, one per transmission, so other tools can consume it
+// without knowing Go types.
+type jsonSchedule struct {
+	Version int        `json:"version"`
+	N       int        `json:"processors"`
+	NMsg    int        `json:"messages"`
+	Time    int        `json:"time"`
+	Sends   []jsonSend `json:"sends"`
+}
+
+type jsonSend struct {
+	T    int   `json:"t"`
+	Msg  int   `json:"msg"`
+	From int   `json:"from"`
+	To   []int `json:"to"`
+}
+
+const jsonVersion = 1
+
+// MarshalJSON encodes the schedule as a versioned flat transmission list.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	out := jsonSchedule{Version: jsonVersion, N: s.N, NMsg: s.NMsg, Time: s.Time()}
+	for t, round := range s.Rounds {
+		for _, tx := range round {
+			out.Sends = append(out.Sends, jsonSend{T: t, Msg: tx.Msg, From: tx.From, To: tx.To})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a schedule previously written by MarshalJSON,
+// restoring round structure and validating basic shape (the model rules
+// are checked separately by Run against a network).
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var in jsonSchedule
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Version != jsonVersion {
+		return fmt.Errorf("schedule: unsupported version %d", in.Version)
+	}
+	if in.N < 0 || in.NMsg < 0 || in.Time < 0 {
+		return fmt.Errorf("schedule: negative sizes in JSON")
+	}
+	restored := Schedule{N: in.N, NMsg: in.NMsg}
+	for _, snd := range in.Sends {
+		if snd.T < 0 || snd.T >= in.Time {
+			return fmt.Errorf("schedule: send at time %d outside [0,%d)", snd.T, in.Time)
+		}
+		if len(snd.To) == 0 {
+			return fmt.Errorf("schedule: send without destinations at time %d", snd.T)
+		}
+		restored.AddSend(snd.T, snd.Msg, snd.From, snd.To...)
+	}
+	for len(restored.Rounds) < in.Time {
+		restored.Rounds = append(restored.Rounds, nil)
+	}
+	*s = restored
+	return nil
+}

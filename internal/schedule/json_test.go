@@ -1,0 +1,77 @@
+package schedule
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"multigossip/internal/graph"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := ringSchedule(6)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	orig.Normalize()
+	back.Normalize()
+	if !orig.Equal(&back) {
+		t.Fatalf("round trip changed the schedule:\n%s\nvs\n%s", orig, &back)
+	}
+	if _, err := CheckGossip(graph.Cycle(6), &back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONPreservesTrailingEmptyRounds(t *testing.T) {
+	s := New(2)
+	s.AddSend(0, 0, 0, 1)
+	s.Rounds = append(s.Rounds, nil, nil) // two silent rounds
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Time() != 3 {
+		t.Fatalf("Time = %d after round trip, want 3", back.Time())
+	}
+}
+
+func TestJSONRejectsCorrupt(t *testing.T) {
+	cases := map[string]string{
+		"badVersion": `{"version":9,"processors":2,"messages":2,"time":1,"sends":[]}`,
+		"negative":   `{"version":1,"processors":-1,"messages":2,"time":1,"sends":[]}`,
+		"lateSend":   `{"version":1,"processors":2,"messages":2,"time":1,"sends":[{"t":5,"msg":0,"from":0,"to":[1]}]}`,
+		"noDests":    `{"version":1,"processors":2,"messages":2,"time":1,"sends":[{"t":0,"msg":0,"from":0,"to":[]}]}`,
+		"notJSON":    `{{{`,
+	}
+	for name, data := range cases {
+		var s Schedule
+		if err := json.Unmarshal([]byte(data), &s); err == nil {
+			t.Errorf("%s: corrupt JSON accepted", name)
+		}
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	s := New(3)
+	s.AddSend(0, 1, 1, 0, 2)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{`"version":1`, `"processors":3`, `"sends":[`, `"to":[0,2]`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("JSON missing %s: %s", want, text)
+		}
+	}
+}

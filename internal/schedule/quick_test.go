@@ -1,0 +1,98 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multigossip/internal/graph"
+)
+
+// TestQuickBitsetSetHasClear: for arbitrary operation sequences the bitset
+// agrees with a reference map.
+func TestQuickBitsetSetHasClear(t *testing.T) {
+	prop := func(rawN uint8, ops []uint16) bool {
+		n := 1 + int(rawN)
+		b := NewBitset(n)
+		ref := make(map[int]bool)
+		for _, op := range ops {
+			i := int(op>>1) % n
+			if op&1 == 0 {
+				b.Set(i)
+				ref[i] = true
+			} else {
+				b.Clear(i)
+				delete(ref, i)
+			}
+		}
+		count := 0
+		for i := 0; i < n; i++ {
+			if b.Has(i) != ref[i] {
+				return false
+			}
+			if ref[i] {
+				count++
+			}
+		}
+		if b.Count() != count || b.Full() != (count == n) {
+			return false
+		}
+		if len(b.Missing()) != n-count {
+			return false
+		}
+		c := b.Clone()
+		c.Set(0)
+		return b.Count() == count || b.Has(0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRingScheduleAlwaysValid: the Fig. 1 rotation schedule on C_n is
+// valid, complete and optimal for every n, and any truncation of it is
+// incomplete (no round is redundant).
+func TestQuickRingScheduleAlwaysValid(t *testing.T) {
+	prop := func(rawN uint8) bool {
+		n := 3 + int(rawN)%60
+		s := ringSchedule(n)
+		g := graph.Cycle(n)
+		res, err := CheckGossip(g, s)
+		if err != nil || res.CompleteAt != n-1 {
+			return false
+		}
+		cut := s.Clone()
+		cut.Rounds = cut.Rounds[:n-2]
+		if _, err := CheckGossip(g, cut); err == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCorruptionAlwaysDetected: flipping any single transmission of a
+// valid schedule to a random wrong message, sender, or destination is
+// either still valid (rare, e.g. a now-wasted delivery) or rejected — it
+// must never panic, and changing the message of a round-0 transmission to
+// one the sender cannot hold must always be rejected.
+func TestQuickCorruptionAlwaysDetected(t *testing.T) {
+	prop := func(rawN, rawIdx, rawMsg uint8) bool {
+		n := 3 + int(rawN)%20
+		g := graph.Cycle(n)
+		s := ringSchedule(n)
+		idx := int(rawIdx) % len(s.Rounds[0])
+		tx := &s.Rounds[0][idx]
+		wrong := int(rawMsg) % n
+		if wrong == tx.From {
+			wrong = (wrong + 1) % n
+		}
+		tx.Msg = wrong // at round 0 a processor holds only its own message
+		_, err := Run(g, s, Options{})
+		return err != nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

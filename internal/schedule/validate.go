@@ -1,0 +1,177 @@
+package schedule
+
+import (
+	"fmt"
+
+	"multigossip/internal/graph"
+)
+
+// Options configure validation and simulation.
+type Options struct {
+	// Initial gives each processor's starting hold set. When nil, processor
+	// p holds exactly message p, the basic gossiping instance (requires
+	// NMsg == N). The slices are not modified.
+	Initial []*Bitset
+	// RequireUseful, when set, rejects any delivery of a message the
+	// destination already holds. The paper's model permits such deliveries
+	// (algorithm Simple makes them); ConcurrentUpDown never should, and its
+	// tests turn this on as a strictness probe.
+	RequireUseful bool
+	// RecvPorts is the number of messages a processor may receive per
+	// round. Zero means 1, the paper's model; larger values validate the
+	// k-port extension studied in experiment E27.
+	RecvPorts int
+}
+
+// Result reports the outcome of simulating a schedule.
+type Result struct {
+	Holds            []*Bitset // final hold set per processor
+	WastedDeliveries int       // deliveries of already-held messages
+	CompleteAt       int       // earliest time every processor holds all messages, or -1
+}
+
+// Run validates s against the communication model on network g and
+// simulates the hold sets. It enforces, for every round:
+//
+//  1. each processor sends at most one message (distinct senders),
+//  2. each processor receives at most one message (disjoint destination sets),
+//  3. every destination is adjacent to its sender in g,
+//  4. the sender holds the message at send time, where the hold set at time
+//     t already includes the message received at time t (receive happens
+//     before send within a time unit).
+//
+// On success it returns the final hold sets and statistics; the first
+// violation aborts with a descriptive error naming the round.
+func Run(g *graph.Graph, s *Schedule, opts Options) (*Result, error) {
+	if g.N() != s.N {
+		return nil, fmt.Errorf("schedule: graph has %d processors, schedule %d", g.N(), s.N)
+	}
+	holds, err := initialHolds(s, opts.Initial)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Holds: holds, CompleteAt: -1}
+	if allFull(holds) {
+		res.CompleteAt = 0
+	}
+	ports := opts.RecvPorts
+	if ports <= 0 {
+		ports = 1
+	}
+	sentBy := make([]int, s.N) // round when the processor last sent, -1 if not
+	recvBy := make([]int, s.N) // round when the processor last received
+	recvCount := make([]int, s.N)
+	for i := range sentBy {
+		sentBy[i] = -1
+		recvBy[i] = -1
+	}
+	for t, round := range s.Rounds {
+		// Check the round before applying its deliveries: sends at time t
+		// use hold sets that already absorbed deliveries from round t-1.
+		for _, tx := range round {
+			if tx.From < 0 || tx.From >= s.N {
+				return nil, fmt.Errorf("schedule: round %d: sender %d out of range", t, tx.From)
+			}
+			if tx.Msg < 0 || tx.Msg >= s.NMsg {
+				return nil, fmt.Errorf("schedule: round %d: message %d out of range", t, tx.Msg)
+			}
+			if sentBy[tx.From] == t {
+				return nil, fmt.Errorf("schedule: round %d: processor %d sends twice", t, tx.From)
+			}
+			sentBy[tx.From] = t
+			if !holds[tx.From].Has(tx.Msg) {
+				return nil, fmt.Errorf("schedule: round %d: processor %d sends message %d it does not hold", t, tx.From, tx.Msg)
+			}
+			if len(tx.To) == 0 {
+				return nil, fmt.Errorf("schedule: round %d: processor %d multicast with empty destination set", t, tx.From)
+			}
+			for _, d := range tx.To {
+				if d < 0 || d >= s.N {
+					return nil, fmt.Errorf("schedule: round %d: destination %d out of range", t, d)
+				}
+				if d == tx.From {
+					return nil, fmt.Errorf("schedule: round %d: processor %d sends to itself", t, d)
+				}
+				if !g.HasEdge(tx.From, d) {
+					return nil, fmt.Errorf("schedule: round %d: no link %d-%d in the network", t, tx.From, d)
+				}
+				if recvBy[d] != t {
+					recvBy[d] = t
+					recvCount[d] = 0
+				}
+				recvCount[d]++
+				if recvCount[d] > ports {
+					if ports == 1 {
+						return nil, fmt.Errorf("schedule: round %d: processor %d receives two messages", t, d)
+					}
+					return nil, fmt.Errorf("schedule: round %d: processor %d exceeds %d receive ports", t, d, ports)
+				}
+				if holds[d].Has(tx.Msg) {
+					res.WastedDeliveries++
+					if opts.RequireUseful {
+						return nil, fmt.Errorf("schedule: round %d: processor %d already holds message %d", t, d, tx.Msg)
+					}
+				}
+			}
+		}
+		// Apply deliveries: messages sent at round t are held from time t+1.
+		for _, tx := range round {
+			for _, d := range tx.To {
+				holds[d].Set(tx.Msg)
+			}
+		}
+		if res.CompleteAt == -1 && allFull(holds) {
+			res.CompleteAt = t + 1
+		}
+	}
+	return res, nil
+}
+
+func initialHolds(s *Schedule, initial []*Bitset) ([]*Bitset, error) {
+	holds := make([]*Bitset, s.N)
+	if initial == nil {
+		if s.NMsg != s.N {
+			return nil, fmt.Errorf("schedule: default initial holds need NMsg == N, got %d != %d", s.NMsg, s.N)
+		}
+		for p := range holds {
+			holds[p] = NewBitset(s.NMsg)
+			holds[p].Set(p)
+		}
+		return holds, nil
+	}
+	if len(initial) != s.N {
+		return nil, fmt.Errorf("schedule: %d initial hold sets for %d processors", len(initial), s.N)
+	}
+	for p, h := range initial {
+		if h.Len() != s.NMsg {
+			return nil, fmt.Errorf("schedule: initial hold set %d sized %d, want %d", p, h.Len(), s.NMsg)
+		}
+		holds[p] = h.Clone()
+	}
+	return holds, nil
+}
+
+func allFull(holds []*Bitset) bool {
+	for _, h := range holds {
+		if !h.Full() {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckGossip validates s on g and verifies that it solves the basic
+// gossiping problem: after the last round every processor holds all n
+// messages. It returns the simulation result on success.
+func CheckGossip(g *graph.Graph, s *Schedule) (*Result, error) {
+	res, err := Run(g, s, Options{})
+	if err != nil {
+		return nil, err
+	}
+	for p, h := range res.Holds {
+		if !h.Full() {
+			return nil, fmt.Errorf("schedule: incomplete gossip: processor %d is missing messages %v", p, h.Missing())
+		}
+	}
+	return res, nil
+}

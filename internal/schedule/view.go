@@ -1,0 +1,66 @@
+package schedule
+
+import (
+	"multigossip/internal/spantree"
+)
+
+// VertexTimetable is the per-processor view of a tree schedule in the
+// format of the paper's Tables 1-4: four rows indexed by time, holding the
+// message label involved or NoMessage. Send rows are indexed by the time
+// the message is sent; receive rows by the time it arrives (send time + 1).
+type VertexTimetable struct {
+	Vertex     int
+	RecvParent []int // message received from the parent at each time
+	RecvChild  []int // message received from a child at each time
+	SendParent []int // message sent to the parent at each time
+	SendChild  []int // message sent to one or more children at each time
+}
+
+// NoMessage marks an empty timetable slot.
+const NoMessage = -1
+
+// VertexView extracts the timetable of vertex v from a schedule defined on
+// the tree network t (schedule vertex ids must match tree vertex ids).
+// Rows have length s.Time()+1 so the latest possible arrival is included.
+func VertexView(s *Schedule, t *spantree.Tree, v int) *VertexTimetable {
+	rows := s.Time() + 1
+	vt := &VertexTimetable{
+		Vertex:     v,
+		RecvParent: filled(rows, NoMessage),
+		RecvChild:  filled(rows, NoMessage),
+		SendParent: filled(rows, NoMessage),
+		SendChild:  filled(rows, NoMessage),
+	}
+	for time, round := range s.Rounds {
+		for _, tx := range round {
+			if tx.From == v {
+				for _, d := range tx.To {
+					if d == t.Parent[v] {
+						vt.SendParent[time] = tx.Msg
+					} else {
+						vt.SendChild[time] = tx.Msg
+					}
+				}
+			}
+			for _, d := range tx.To {
+				if d != v {
+					continue
+				}
+				if tx.From == t.Parent[v] {
+					vt.RecvParent[time+1] = tx.Msg
+				} else {
+					vt.RecvChild[time+1] = tx.Msg
+				}
+			}
+		}
+	}
+	return vt
+}
+
+func filled(n, x int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = x
+	}
+	return s
+}

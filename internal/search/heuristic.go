@@ -1,0 +1,151 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// Greedy builds a gossip schedule by a randomized round-by-round greedy
+// under the given model and returns the best of restarts attempts (seeded
+// by rng for reproducibility). Each round serves receivers in a random
+// order; every receiver grabs the rarest message a neighbour can offer it,
+// preferring to join an existing multicast so rounds stay dense. The result
+// is always a valid schedule; its length is an upper bound on the optimum
+// that, on small dense graphs, frequently matches it (experiment E2 uses
+// this to exhibit an n - 1 round multicast schedule on the Petersen graph).
+func Greedy(g *graph.Graph, model Model, rng *rand.Rand, restarts int) (*schedule.Schedule, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("search: empty graph")
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("search: graph is disconnected")
+	}
+	if restarts < 1 {
+		restarts = 1
+	}
+	var best *schedule.Schedule
+	for attempt := 0; attempt < restarts; attempt++ {
+		s, err := greedyOnce(g, model, rng)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || s.Time() < best.Time() {
+			best = s
+		}
+	}
+	return best, nil
+}
+
+func greedyOnce(g *graph.Graph, model Model, rng *rand.Rand) (*schedule.Schedule, error) {
+	n := g.N()
+	holds := make([]*schedule.Bitset, n)
+	for v := range holds {
+		holds[v] = schedule.NewBitset(n)
+		holds[v].Set(v)
+	}
+	missingTotal := n * (n - 1)
+	s := schedule.New(n)
+	order := rng.Perm(n)
+	maxRounds := n*n + 4
+	for t := 0; missingTotal > 0; t++ {
+		if t >= maxRounds {
+			return nil, fmt.Errorf("search: greedy did not finish within %d rounds", maxRounds)
+		}
+		// Message rarity: how many processors hold each message; rarer
+		// messages are more urgent to spread.
+		rarity := make([]int, n)
+		for m := 0; m < n; m++ {
+			for v := 0; v < n; v++ {
+				if holds[v].Has(m) {
+					rarity[m]++
+				}
+			}
+		}
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		senderMsg := make([]int, n)
+		for i := range senderMsg {
+			senderMsg[i] = -1
+		}
+		type pick struct{ msg, from, to int }
+		var picks []pick
+		for _, v := range order {
+			if holds[v].Full() {
+				continue
+			}
+			bestFrom, bestMsg, bestScore := -1, -1, -1
+			for _, u := range g.Neighbors(v) {
+				if committed := senderMsg[u]; committed != -1 {
+					if model == Telephone {
+						continue
+					}
+					if !holds[v].Has(committed) {
+						// Joining an existing multicast costs no sender
+						// slot; bias strongly toward it.
+						score := 2*n - rarity[committed]
+						if score > bestScore {
+							bestFrom, bestMsg, bestScore = u, committed, score
+						}
+					}
+					continue
+				}
+				for _, m := range holds[v].Missing() {
+					if !holds[u].Has(m) {
+						continue
+					}
+					score := n - rarity[m]
+					if score > bestScore {
+						bestFrom, bestMsg, bestScore = u, m, score
+					}
+				}
+			}
+			if bestFrom == -1 {
+				continue
+			}
+			senderMsg[bestFrom] = bestMsg
+			picks = append(picks, pick{bestMsg, bestFrom, v})
+		}
+		if len(picks) == 0 {
+			return nil, fmt.Errorf("search: greedy stalled at round %d", t)
+		}
+		// Emit one multicast per sender.
+		bySender := make(map[int][]int)
+		for _, p := range picks {
+			bySender[p.from] = append(bySender[p.from], p.to)
+		}
+		senders := make([]int, 0, len(bySender))
+		for u := range bySender {
+			senders = append(senders, u)
+		}
+		sort.Ints(senders)
+		for _, u := range senders {
+			s.AddSend(t, senderMsg[u], u, bySender[u]...)
+		}
+		for _, p := range picks {
+			if !holds[p.to].Has(p.msg) {
+				holds[p.to].Set(p.msg)
+				missingTotal--
+			}
+		}
+	}
+	return s, nil
+}
+
+// LowerBound returns the best cheap lower bound on gossip time for g:
+// max(n - 1, diameter). Every processor must receive n - 1 messages one at
+// a time, and the message from u needs dist(u, v) rounds to reach v.
+func LowerBound(g *graph.Graph) int {
+	n := g.N()
+	if n <= 1 {
+		return 0
+	}
+	d := g.Diameter()
+	if n-1 > d {
+		return n - 1
+	}
+	return d
+}

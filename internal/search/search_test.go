@@ -1,0 +1,214 @@
+package search
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// exactCheck runs Exact and verifies the witness schedule.
+func exactCheck(t *testing.T, g *graph.Graph, model Model, maxTime int) int {
+	t.Helper()
+	opt, s, err := Exact(g, model, maxTime, 0)
+	if err != nil {
+		t.Fatalf("%v/%v: %v", g, model, err)
+	}
+	if s == nil {
+		return opt // optimum exceeds maxTime
+	}
+	if s.Time() != opt {
+		t.Fatalf("%v/%v: witness time %d != reported %d", g, model, s.Time(), opt)
+	}
+	if _, err := schedule.CheckGossip(g, s); err != nil {
+		t.Fatalf("%v/%v: witness invalid: %v", g, model, err)
+	}
+	if model == Telephone {
+		for _, round := range s.Rounds {
+			for _, tx := range round {
+				if len(tx.To) != 1 {
+					t.Fatalf("%v: telephone witness multicasts", g)
+				}
+			}
+		}
+	}
+	return opt
+}
+
+func TestExactTinyInstances(t *testing.T) {
+	// P2: one exchange round suffices under both models.
+	if opt := exactCheck(t, graph.Path(2), Multicast, 3); opt != 1 {
+		t.Errorf("P2 multicast optimum = %d, want 1", opt)
+	}
+	if opt := exactCheck(t, graph.Path(2), Telephone, 3); opt != 1 {
+		t.Errorf("P2 telephone optimum = %d, want 1", opt)
+	}
+	// P3: the paper's Section 1 argument shows 2 rounds are impossible;
+	// the optimum is n + r - 1 = 3.
+	if opt := exactCheck(t, graph.Path(3), Multicast, 5); opt != 3 {
+		t.Errorf("P3 multicast optimum = %d, want 3", opt)
+	}
+	// Triangle: n - 1 = 2.
+	if opt := exactCheck(t, graph.Cycle(3), Multicast, 4); opt != 2 {
+		t.Errorf("C3 optimum = %d, want 2", opt)
+	}
+}
+
+func TestExactRingMatchesFig1(t *testing.T) {
+	// E1 certification: the ring reaches the trivial lower bound n - 1.
+	for _, n := range []int{4, 5} {
+		if opt := exactCheck(t, graph.Cycle(n), Multicast, n+2); opt != n-1 {
+			t.Errorf("C%d optimum = %d, want %d", n, opt, n-1)
+		}
+	}
+}
+
+func TestExactOddLineLowerBound(t *testing.T) {
+	// E11 certification: the 5-vertex line needs exactly n + r - 1 = 6.
+	if opt := exactCheck(t, graph.Path(5), Multicast, 8); opt != 6 {
+		t.Errorf("P5 optimum = %d, want 6", opt)
+	}
+}
+
+func TestExactStar(t *testing.T) {
+	// Star on 4 vertices: hub receive bottleneck forces n + r - 1 = 4.
+	if opt := exactCheck(t, graph.Star(4), Multicast, 6); opt != 4 {
+		t.Errorf("Star4 optimum = %d, want 4", opt)
+	}
+}
+
+// TestExactN3Separation is the E3 certification (DESIGN.md substitution 1):
+// on K_{2,3} — non-Hamiltonian — gossiping needs exactly n - 1 = 4 rounds
+// under multicasting but strictly more under the telephone model.
+func TestExactN3Separation(t *testing.T) {
+	g := graph.N3StandIn()
+	multi := exactCheck(t, g, Multicast, 6)
+	if multi != 4 {
+		t.Errorf("N3 multicast optimum = %d, want 4", multi)
+	}
+	tel := exactCheck(t, g, Telephone, 7)
+	if tel <= 4 {
+		t.Errorf("N3 telephone optimum = %d, want > 4", tel)
+	}
+	t.Logf("N3 stand-in K_{2,3}: multicast=%d telephone=%d", multi, tel)
+}
+
+func TestExactBudgetExhaustion(t *testing.T) {
+	_, _, err := Exact(graph.Cycle(6), Multicast, 10, 50)
+	if err == nil || !errors.Is(err, ErrBudget) {
+		t.Fatalf("tiny budget did not report ErrBudget: %v", err)
+	}
+}
+
+func TestExactRejectsBadInput(t *testing.T) {
+	if _, _, err := Exact(graph.New(0), Multicast, 3, 0); err == nil {
+		t.Error("accepted empty graph")
+	}
+	if _, _, err := Exact(graph.Path(20), Multicast, 3, 0); err == nil {
+		t.Error("accepted oversized graph")
+	}
+	d := graph.New(3)
+	d.AddEdge(0, 1)
+	if _, _, err := Exact(d, Multicast, 3, 0); err == nil {
+		t.Error("accepted disconnected graph")
+	}
+}
+
+func TestExactMaxTimeExceeded(t *testing.T) {
+	// P3 needs 3 rounds; capping at 2 must report 3 with a nil schedule.
+	opt, s, err := Exact(graph.Path(3), Multicast, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 3 || s != nil {
+		t.Fatalf("opt=%d s=%v, want 3, nil", opt, s)
+	}
+}
+
+func TestGreedyValidAcrossModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	graphs := []*graph.Graph{
+		graph.Cycle(8), graph.Petersen(), graph.Grid(3, 3), graph.Star(8),
+		graph.Complete(7), graph.RandomConnected(rng, 20, 0.2),
+	}
+	for _, g := range graphs {
+		for _, model := range []Model{Multicast, Telephone} {
+			s, err := Greedy(g, model, rng, 4)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", g, model, err)
+			}
+			if _, err := schedule.CheckGossip(g, s); err != nil {
+				t.Fatalf("%v/%v: %v", g, model, err)
+			}
+			if s.Time() < LowerBound(g) {
+				t.Fatalf("%v/%v: time %d beats lower bound %d", g, model, s.Time(), LowerBound(g))
+			}
+			if model == Telephone {
+				for _, round := range s.Rounds {
+					for _, tx := range round {
+						if len(tx.To) != 1 {
+							t.Fatalf("%v: telephone greedy multicasts", g)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGreedyPetersenNearOptimal is the E2 reproduction: the paper states
+// gossiping on the Petersen graph completes in n - 1 = 9 rounds (even under
+// the telephone model). The randomized greedy must find a multicast
+// schedule at or very near that bound; hitting 9 certifies the claim.
+func TestGreedyPetersenNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s, err := Greedy(graph.Petersen(), Multicast, rng, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schedule.CheckGossip(graph.Petersen(), s); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Petersen multicast greedy best: %d rounds (paper: 9)", s.Time())
+	if s.Time() > 11 {
+		t.Errorf("greedy found only %d rounds on Petersen, want <= 11", s.Time())
+	}
+}
+
+func TestGreedyRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Greedy(graph.New(0), Multicast, rng, 1); err == nil {
+		t.Error("accepted empty graph")
+	}
+	d := graph.New(2)
+	if _, err := Greedy(d, Multicast, rng, 1); err == nil {
+		t.Error("accepted disconnected graph")
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int
+	}{
+		{graph.New(1), 0},
+		{graph.Path(2), 1},
+		{graph.Path(9), 8}, // diameter 8 = n-1
+		{graph.Path(3), 2}, // max(2, 2)
+		{graph.Complete(5), 4},
+		{graph.Cycle(10), 9}, // n-1 dominates diameter 5
+	}
+	for _, c := range cases {
+		if got := LowerBound(c.g); got != c.want {
+			t.Errorf("LowerBound(%v) = %d, want %d", c.g, got, c.want)
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if Multicast.String() != "Multicast" || Telephone.String() != "Telephone" {
+		t.Fatal("model names wrong")
+	}
+}

@@ -1,0 +1,160 @@
+package spantree
+
+import "fmt"
+
+// Labeled is a rooted tree whose vertices have been renamed by DFS preorder
+// so that vertex identifier == message label (Section 3.2: the message
+// originating at each vertex is labelled in depth-first search order,
+// starting with the root's message as 0). In this canonical form the
+// subtree of vertex v holds exactly the contiguous message interval
+// [v .. Hi[v]], which is what every rule of Propagate-Up/Down keys on.
+type Labeled struct {
+	T        *Tree // canonical tree: vertex id = DFS label
+	VertexOf []int // canonical id -> vertex id in the original tree
+	LabelOf  []int // original vertex id -> canonical id (DFS label)
+	Hi       []int // subtree of canonical vertex v spans labels [v, Hi[v]]
+}
+
+// Label computes the DFS preorder labelling of t. The subtree order at each
+// vertex is the fixed ascending order of Children (the paper allows any
+// fixed arbitrary order). The traversal is iterative so arbitrarily deep
+// trees (paths of 100k vertices) do not overflow the goroutine stack.
+func Label(t *Tree) *Labeled {
+	n := t.N()
+	l := &Labeled{
+		VertexOf: make([]int, n),
+		LabelOf:  make([]int, n),
+		Hi:       make([]int, n),
+	}
+	// Iterative preorder. The stack holds original vertex ids; children are
+	// pushed in reverse so the lowest-numbered child is visited first.
+	next := 0
+	stack := []int{t.Root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		l.LabelOf[v] = next
+		l.VertexOf[next] = v
+		next++
+		kids := t.Children[v]
+		for i := len(kids) - 1; i >= 0; i-- {
+			stack = append(stack, kids[i])
+		}
+	}
+	// Build the canonical tree and subtree intervals.
+	parent := make([]int, n)
+	for v := 0; v < n; v++ {
+		if p := t.Parent[v]; p == -1 {
+			parent[l.LabelOf[v]] = -1
+		} else {
+			parent[l.LabelOf[v]] = l.LabelOf[p]
+		}
+	}
+	l.T = MustFromParents(parent)
+	// Hi[v] in canonical space: process labels in reverse preorder; a leaf's
+	// interval is [v, v]; an internal vertex's Hi is the Hi of its last child.
+	for v := n - 1; v >= 0; v-- {
+		kids := l.T.Children[v]
+		if len(kids) == 0 {
+			l.Hi[v] = v
+		} else {
+			l.Hi[v] = l.Hi[kids[len(kids)-1]]
+		}
+	}
+	return l
+}
+
+// N returns the number of vertices (= messages).
+func (l *Labeled) N() int { return len(l.VertexOf) }
+
+// Interval returns the message interval [lo, hi] held initially by the
+// subtree rooted at canonical vertex v (lo is v's own s-message).
+func (l *Labeled) Interval(v int) (lo, hi int) { return v, l.Hi[v] }
+
+// LipCount returns w, the number of lip-messages at canonical vertex v:
+// 1 when v's s-message immediately follows its parent's s-message in DFS
+// order (v is the parent's first child), else 0. The root has no parent and
+// therefore w = 0.
+func (l *Labeled) LipCount(v int) int {
+	p := l.T.Parent[v]
+	if p >= 0 && v == p+1 {
+		return 1
+	}
+	return 0
+}
+
+// Owner returns the child of canonical vertex v whose subtree holds message
+// m, or -1 when no child holds it (m == v, or m outside [v, Hi[v]]).
+// Children intervals are consecutive in canonical space, so a binary-search
+// style scan over the sorted child list suffices.
+func (l *Labeled) Owner(v, m int) int {
+	if m <= v || m > l.Hi[v] {
+		return -1
+	}
+	kids := l.T.Children[v]
+	// kids are ascending and child c spans [c, Hi[c]]; find the last child
+	// with c <= m.
+	lo, hi := 0, len(kids)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if kids[mid] <= m {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	c := kids[lo]
+	if m >= c && m <= l.Hi[c] {
+		return c
+	}
+	return -1
+}
+
+// Verify checks the structural invariants of the labelling: VertexOf and
+// LabelOf are inverse permutations, intervals are contiguous and properly
+// nested, every label lies within its level (label >= level, the fact the
+// feasibility proofs of Lemmas 2 and 3 rely on), and Owner agrees with the
+// child intervals. Used by tests and by debug assertions in the schedule
+// builders.
+func (l *Labeled) Verify() error {
+	n := l.N()
+	for v := 0; v < n; v++ {
+		if l.LabelOf[l.VertexOf[v]] != v {
+			return fmt.Errorf("spantree: VertexOf/LabelOf not inverse at %d", v)
+		}
+		if v < l.T.Level[v] {
+			return fmt.Errorf("spantree: label %d below its level %d", v, l.T.Level[v])
+		}
+		lo, hi := l.Interval(v)
+		if lo != v || hi < lo || hi >= n {
+			return fmt.Errorf("spantree: bad interval [%d,%d] at %d", lo, hi, v)
+		}
+		kids := l.T.Children[v]
+		expect := v + 1
+		for _, c := range kids {
+			if c != expect {
+				return fmt.Errorf("spantree: child %d of %d should start at %d", c, v, expect)
+			}
+			expect = l.Hi[c] + 1
+		}
+		if len(kids) == 0 && hi != v {
+			return fmt.Errorf("spantree: leaf %d has interval [%d,%d]", v, lo, hi)
+		}
+		if len(kids) > 0 && hi != l.Hi[kids[len(kids)-1]] {
+			return fmt.Errorf("spantree: interval of %d does not end at last child's", v)
+		}
+		for m := 0; m < n; m++ {
+			owner := l.Owner(v, m)
+			if m <= v || m > hi {
+				if owner != -1 {
+					return fmt.Errorf("spantree: Owner(%d,%d) = %d, want -1", v, m, owner)
+				}
+				continue
+			}
+			if owner == -1 || m < owner || m > l.Hi[owner] {
+				return fmt.Errorf("spantree: Owner(%d,%d) = %d wrong", v, m, owner)
+			}
+		}
+	}
+	return nil
+}

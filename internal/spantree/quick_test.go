@@ -1,0 +1,111 @@
+package spantree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multigossip/internal/graph"
+)
+
+// TestQuickLabelInvariants: the DFS labelling of any rooted random tree
+// satisfies all structural invariants checked by Verify, plus the facts
+// the feasibility proofs use: label >= level everywhere, contiguous child
+// intervals, and the lip-message characterisation (exactly the first child
+// of each vertex carries one).
+func TestQuickLabelInvariants(t *testing.T) {
+	prop := func(seed int64, rawN, rawRoot uint8) bool {
+		n := 1 + int(rawN)%64
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomTree(rng, n)
+		tr, err := BFSTree(g, int(rawRoot)%n)
+		if err != nil {
+			return false
+		}
+		l := Label(tr)
+		if l.Verify() != nil {
+			return false
+		}
+		// Lip-count: the number of lip-messages across the tree equals the
+		// number of non-leaf vertices (each contributes exactly one first
+		// child).
+		lips, nonLeaves := 0, 0
+		for v := 0; v < n; v++ {
+			lips += l.LipCount(v)
+			if !l.T.IsLeaf(v) {
+				nonLeaves++
+			}
+		}
+		return lips == nonLeaves
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMinDepthNeverWorseThanAnyRoot: the minimum-depth tree's height
+// is a lower bound over all BFS tree heights, and equals the radius.
+func TestQuickMinDepthNeverWorseThanAnyRoot(t *testing.T) {
+	prop := func(seed int64, rawN, rawP uint8) bool {
+		n := 1 + int(rawN)%24
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(rng, n, float64(rawP)/255)
+		tr, err := MinDepth(g)
+		if err != nil {
+			return false
+		}
+		if tr.Height != g.Radius() {
+			return false
+		}
+		for root := 0; root < n; root++ {
+			bt, err := BFSTree(g, root)
+			if err != nil || bt.Height < tr.Height {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFromParentsRejectsOrAccepts: FromParents on arbitrary parent
+// arrays never panics; when it accepts, the result is a consistent rooted
+// tree (levels increase by one along parent edges, the children lists
+// invert the parent array, and height is the max level).
+func TestQuickFromParentsRejectsOrAccepts(t *testing.T) {
+	prop := func(raw []int8) bool {
+		if len(raw) == 0 {
+			raw = []int8{-1}
+		}
+		if len(raw) > 32 {
+			raw = raw[:32]
+		}
+		parents := make([]int, len(raw))
+		for i, x := range raw {
+			parents[i] = int(x)%(len(raw)+1) - 1 // in [-1, len-1]
+		}
+		tr, err := FromParents(parents)
+		if err != nil {
+			return true
+		}
+		maxLevel := 0
+		childCount := 0
+		for v := 0; v < tr.N(); v++ {
+			if tr.Level[v] > maxLevel {
+				maxLevel = tr.Level[v]
+			}
+			childCount += len(tr.Children[v])
+			for _, c := range tr.Children[v] {
+				if tr.Parent[c] != v || tr.Level[c] != tr.Level[v]+1 {
+					return false
+				}
+			}
+		}
+		return tr.Height == maxLevel && childCount == tr.N()-1 && tr.Level[tr.Root] == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

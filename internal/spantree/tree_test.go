@@ -1,0 +1,302 @@
+package spantree
+
+import (
+	"math/rand"
+	"testing"
+
+	"multigossip/internal/graph"
+)
+
+func TestFromParentsValid(t *testing.T) {
+	tr, err := FromParents([]int{-1, 0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root != 0 || tr.Height != 2 || tr.N() != 5 {
+		t.Fatalf("root=%d height=%d n=%d", tr.Root, tr.Height, tr.N())
+	}
+	wantLevels := []int{0, 1, 1, 2, 2}
+	for v, w := range wantLevels {
+		if tr.Level[v] != w {
+			t.Errorf("Level[%d] = %d, want %d", v, tr.Level[v], w)
+		}
+	}
+	if len(tr.Children[0]) != 2 || tr.Children[0][0] != 1 || tr.Children[0][1] != 2 {
+		t.Errorf("Children[0] = %v", tr.Children[0])
+	}
+	if !tr.IsLeaf(3) || tr.IsLeaf(1) {
+		t.Error("IsLeaf wrong")
+	}
+}
+
+func TestFromParentsErrors(t *testing.T) {
+	cases := map[string][]int{
+		"empty":       {},
+		"noRoot":      {1, 0},
+		"twoRoots":    {-1, -1},
+		"selfParent":  {-1, 1},
+		"outOfRange":  {-1, 5},
+		"cycle":       {-1, 2, 3, 1}, // 1->2->3->1 disconnected cycle
+		"unreachable": {-1, 2, 1},    // 1<->2 cycle
+	}
+	for name, parents := range cases {
+		if _, err := FromParents(parents); err == nil {
+			t.Errorf("%s: FromParents(%v) accepted invalid input", name, parents)
+		}
+	}
+}
+
+func TestTreeGraphRoundTrip(t *testing.T) {
+	tr := MustFromParents([]int{-1, 0, 1, 1, 0})
+	g := tr.Graph()
+	if g.M() != 4 {
+		t.Fatalf("tree graph edges = %d, want 4", g.M())
+	}
+	for v, p := range tr.Parent {
+		if p >= 0 && !g.HasEdge(v, p) {
+			t.Errorf("missing edge %d-%d", v, p)
+		}
+	}
+}
+
+func TestBFSTreeHeightIsEccentricity(t *testing.T) {
+	g := graph.Grid(4, 5)
+	for root := 0; root < g.N(); root++ {
+		tr, err := BFSTree(g, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Height != g.Eccentricity(root) {
+			t.Fatalf("root %d: height %d != ecc %d", root, tr.Height, g.Eccentricity(root))
+		}
+		if tr.Root != root {
+			t.Fatalf("root %d: got %d", root, tr.Root)
+		}
+	}
+}
+
+func TestBFSTreeDisconnected(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	if _, err := BFSTree(g, 0); err == nil {
+		t.Fatal("BFSTree accepted disconnected graph")
+	}
+}
+
+func TestMinDepthHeightEqualsRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	graphs := []*graph.Graph{
+		graph.Path(9), graph.Cycle(10), graph.Star(12), graph.Complete(6),
+		graph.Grid(3, 6), graph.Hypercube(4), graph.Petersen(), graph.Fig4(),
+		graph.RandomConnected(rng, 25, 0.15),
+		graph.RandomConnected(rng, 40, 0.08),
+		graph.RandomTree(rng, 33),
+	}
+	for _, g := range graphs {
+		tr, err := MinDepth(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := g.Radius(); tr.Height != want {
+			t.Errorf("%v: MinDepth height = %d, want radius %d", g, tr.Height, want)
+		}
+	}
+}
+
+func TestApproxMinDepthExactOnTrees(t *testing.T) {
+	// The double sweep finds a true center on every tree: exhaustively for
+	// n <= 7 and randomized at larger sizes.
+	for n := 1; n <= 7; n++ {
+		graph.AllTrees(n, func(g *graph.Graph) bool {
+			tr, err := ApproxMinDepth(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := g.Radius(); tr.Height != want {
+				t.Fatalf("n=%d %v: approx height %d, want radius %d", n, g, tr.Height, want)
+			}
+			return true
+		})
+	}
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 30; iter++ {
+		g := graph.RandomTree(rng, 2+rng.Intn(300))
+		tr, err := ApproxMinDepth(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := g.Radius(); tr.Height != want {
+			t.Fatalf("%v: approx height %d, want radius %d", g, tr.Height, want)
+		}
+	}
+}
+
+func TestApproxMinDepthWithinTwiceRadiusOnGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	graphs := []*graph.Graph{
+		graph.Cycle(11), graph.Grid(4, 7), graph.Hypercube(4), graph.Petersen(),
+		graph.RandomConnected(rng, 50, 0.08), graph.RandomGeometric(rng, 60, 0.15),
+	}
+	for _, g := range graphs {
+		tr, err := ApproxMinDepth(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := g.Radius()
+		if tr.Height < r || tr.Height > 2*r {
+			t.Fatalf("%v: approx height %d outside [r, 2r] = [%d, %d]", g, tr.Height, r, 2*r)
+		}
+	}
+}
+
+func TestApproxMinDepthErrors(t *testing.T) {
+	if _, err := ApproxMinDepth(graph.New(0)); err == nil {
+		t.Fatal("accepted empty graph")
+	}
+	d := graph.New(3)
+	d.AddEdge(0, 1)
+	if _, err := ApproxMinDepth(d); err == nil {
+		t.Fatal("accepted disconnected graph")
+	}
+}
+
+func TestMinDepthDeterministicRoot(t *testing.T) {
+	// C6: all vertices have eccentricity 3; tie must break to vertex 0.
+	tr, err := MinDepth(graph.Cycle(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root != 0 {
+		t.Fatalf("root = %d, want 0", tr.Root)
+	}
+}
+
+func TestMinDepthEmpty(t *testing.T) {
+	if _, err := MinDepth(graph.New(0)); err == nil {
+		t.Fatal("MinDepth accepted empty graph")
+	}
+}
+
+func TestMinDepthFig4GivesFig5Tree(t *testing.T) {
+	tr, err := MinDepth(graph.Fig4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.Fig5TreeParents()
+	for v := range want {
+		if tr.Parent[v] != want[v] {
+			t.Fatalf("Parent[%d] = %d, want %d (full: %v)", v, tr.Parent[v], want[v], tr.Parent)
+		}
+	}
+	if tr.Height != 3 {
+		t.Fatalf("height = %d, want 3", tr.Height)
+	}
+}
+
+func TestLabelFig5IsIdentity(t *testing.T) {
+	// Vertex numbers in Fig. 5 are already DFS labels, so labelling the
+	// reconstructed tree must be the identity permutation.
+	tr := MustFromParents(graph.Fig5TreeParents())
+	l := Label(tr)
+	for v := 0; v < l.N(); v++ {
+		if l.LabelOf[v] != v {
+			t.Fatalf("LabelOf[%d] = %d, want identity", v, l.LabelOf[v])
+		}
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the intervals the paper's tables rely on.
+	intervals := map[int][2]int{0: {0, 15}, 1: {1, 3}, 4: {4, 10}, 5: {5, 7}, 8: {8, 10}, 11: {11, 15}}
+	for v, want := range intervals {
+		lo, hi := l.Interval(v)
+		if lo != want[0] || hi != want[1] {
+			t.Errorf("Interval(%d) = [%d,%d], want %v", v, lo, hi, want)
+		}
+	}
+}
+
+func TestLabelPreorderOnShuffledTree(t *testing.T) {
+	// A tree whose vertex ids are not in DFS order.
+	// Shape: root 3 with children {0, 5}; 0 has children {2, 4}; 5 has {1}.
+	tr := MustFromParents([]int{3, 5, 0, -1, 0, 3})
+	l := Label(tr)
+	// DFS from 3, children ascending: 3, 0, 2, 4, 5, 1.
+	wantVertexOf := []int{3, 0, 2, 4, 5, 1}
+	for lbl, v := range wantVertexOf {
+		if l.VertexOf[lbl] != v {
+			t.Fatalf("VertexOf[%d] = %d, want %d", lbl, l.VertexOf[lbl], v)
+		}
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLipCount(t *testing.T) {
+	tr := MustFromParents(graph.Fig5TreeParents())
+	l := Label(tr)
+	// First children (label = parent label + 1) carry a lip-message.
+	wantLip := map[int]int{0: 0, 1: 1, 2: 1, 3: 0, 4: 0, 5: 1, 6: 1, 7: 0, 8: 0, 9: 1, 10: 0, 11: 0, 12: 1, 13: 1, 14: 0, 15: 1}
+	for v, w := range wantLip {
+		if got := l.LipCount(v); got != w {
+			t.Errorf("LipCount(%d) = %d, want %d", v, got, w)
+		}
+	}
+}
+
+func TestOwner(t *testing.T) {
+	tr := MustFromParents(graph.Fig5TreeParents())
+	l := Label(tr)
+	cases := []struct{ v, m, want int }{
+		{0, 0, -1},  // own message: no child owns it
+		{0, 2, 1},   // message 2 lives under child 1
+		{0, 7, 4},   // message 7 lives under child 4
+		{0, 15, 11}, // message 15 under child 11
+		{4, 9, 8},
+		{4, 5, 5},
+		{4, 4, -1},
+		{4, 12, -1}, // outside the subtree
+		{8, 10, 10},
+		{1, 3, 3},
+	}
+	for _, c := range cases {
+		if got := l.Owner(c.v, c.m); got != c.want {
+			t.Errorf("Owner(%d,%d) = %d, want %d", c.v, c.m, got, c.want)
+		}
+	}
+}
+
+func TestLabelPropertyRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(60)
+		g := graph.RandomTree(rng, n)
+		root := rng.Intn(n)
+		tr, err := BFSTree(g, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := Label(tr)
+		if err := l.Verify(); err != nil {
+			t.Fatalf("n=%d root=%d: %v", n, root, err)
+		}
+		if l.T.Height != tr.Height {
+			t.Fatalf("canonical tree changed height: %d vs %d", l.T.Height, tr.Height)
+		}
+	}
+}
+
+func TestLabelDeepPathNoOverflow(t *testing.T) {
+	// 200k-vertex path: iterative DFS must not blow the stack.
+	n := 200_000
+	parents := make([]int, n)
+	parents[0] = -1
+	for v := 1; v < n; v++ {
+		parents[v] = v - 1
+	}
+	l := Label(MustFromParents(parents))
+	if l.Hi[0] != n-1 || l.T.Height != n-1 {
+		t.Fatalf("deep path labelling wrong: Hi[0]=%d height=%d", l.Hi[0], l.T.Height)
+	}
+}

@@ -1,0 +1,286 @@
+// Package stream generates ConcurrentUpDown schedules lazily, one round at
+// a time, in O(n) memory. A materialised schedule is a Θ(n²) object (every
+// processor receives n-1 messages), which caps the materialising builder
+// around n ≈ 10⁴ on a laptop; but the paper's construction is closed-form
+// per vertex — up-sends and b-message down-sends come straight from
+// (U3)/(U4)/(D3), and the only dynamic state is the o-message forwarding of
+// (D1)/(D2), which needs just the previous round's arrival and at most two
+// delayed messages per vertex. The generator keeps exactly that state, so
+// each round costs O(active vertices) and the whole stream costs the same
+// total work as materialising with none of the memory.
+//
+// The tests prove equivalence: for moderate n the streamed rounds are
+// identical, transmission for transmission, to core.BuildConcurrentUpDown.
+package stream
+
+import (
+	"fmt"
+
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+// Generator produces the rounds of the ConcurrentUpDown schedule on a
+// DFS-labelled tree (canonical identifiers), in time order.
+type Generator struct {
+	l *spantree.Labeled
+	t int // next round to emit
+
+	// incoming[v] is the o-message arriving at v from its parent at time
+	// g.t (computed from the previous round's sends), or -1. scratch is
+	// the double buffer for the next round, reused to keep Next
+	// allocation-free in steady state.
+	incoming []int
+	scratch  []int
+	// delayed[v] holds the o-messages captured at times i-k and i-k+1,
+	// to be released at j-k+1 and j-k+2 (at most two, step D2).
+	delayed   [][]int
+	lastRound int
+}
+
+// New returns a generator for the labelled tree. The stream has exactly
+// n + height rounds for n >= 2 (0 rounds for n <= 1).
+func New(l *spantree.Labeled) *Generator {
+	n := l.N()
+	g := &Generator{
+		l:         l,
+		incoming:  make([]int, n),
+		scratch:   make([]int, n),
+		delayed:   make([][]int, n),
+		lastRound: lastRoundOf(l),
+	}
+	for v := range g.incoming {
+		g.incoming[v] = -1
+		g.scratch[v] = -1
+	}
+	return g
+}
+
+// lastRoundOf returns the final round index: n + height - 1 (the message 0
+// relay reaching the deepest leaves), or -1 for trivial trees.
+func lastRoundOf(l *spantree.Labeled) int {
+	if l.N() <= 1 {
+		return -1
+	}
+	return l.N() + l.T.Height - 1
+}
+
+// Rounds returns the total number of rounds the stream will produce.
+func (g *Generator) Rounds() int { return g.lastRound + 1 }
+
+// Next emits the transmissions of the next round, or ok=false when the
+// schedule is complete. The returned slice is freshly allocated each call.
+func (g *Generator) Next() (round []schedule.Transmission, ok bool) {
+	if g.t > g.lastRound {
+		return nil, false
+	}
+	t := g.t
+	l := g.l
+	tr := l.T
+	n := l.N()
+	nextIncoming := g.scratch // reset lazily: only written slots differ from -1
+
+	for v := 0; v < n; v++ {
+		// Consume (and clear, for buffer reuse) this round's arrival.
+		in := g.incoming[v]
+		g.incoming[v] = -1
+
+		k := tr.Level[v]
+		i, j := l.Interval(v)
+		var msg = -1
+		var toParent bool
+		var children []int
+
+		// Propagate-Up sends (U3, U4).
+		if v != tr.Root {
+			w := l.LipCount(v)
+			if w == 1 && t == 0 {
+				msg, toParent = i, true
+			}
+			if t >= i-k+w && t <= j-k {
+				msg, toParent = t+k, true
+			}
+		}
+
+		if !tr.IsLeaf(v) {
+			// Propagate-Down b-messages (D3).
+			bTime := -1
+			var bMsg int
+			if t >= i-k && t <= j-k {
+				bMsg = t + k
+				bTime = t
+				if bMsg == i && i == k {
+					bTime = -1 // relocated below
+				}
+			}
+			if i == k && t == j-k+1 {
+				bMsg, bTime = i, t
+			}
+			if bTime == t {
+				if msg != -1 && msg != bMsg {
+					panic(fmt.Sprintf("stream: vertex %d emits %d and %d at %d", v, msg, bMsg, t))
+				}
+				msg = bMsg
+				children = destsExcludingOwner(l, v, bMsg)
+			}
+
+			// Propagate-Down o-forwards (D1, D2).
+			oMsg := -1
+			if in != -1 {
+				if t == i-k || t == i-k+1 {
+					g.delayed[v] = append(g.delayed[v], in)
+					if len(g.delayed[v]) > 2 {
+						panic(fmt.Sprintf("stream: vertex %d delayed %d messages", v, len(g.delayed[v])))
+					}
+				} else {
+					oMsg = in
+				}
+			}
+			if oMsg == -1 && len(g.delayed[v]) > 0 {
+				if t == j-k+1 || t == j-k+2 {
+					oMsg = g.delayed[v][0]
+					g.delayed[v] = g.delayed[v][1:]
+				}
+			}
+			if oMsg != -1 {
+				if msg != -1 && msg != oMsg {
+					panic(fmt.Sprintf("stream: vertex %d emits %d and %d at %d", v, msg, oMsg, t))
+				}
+				msg = oMsg
+				children = tr.Children[v]
+			}
+		}
+
+		if msg == -1 {
+			continue
+		}
+		if !toParent && len(children) == 0 {
+			continue
+		}
+		dests := make([]int, 0, len(children)+1)
+		if toParent {
+			dests = append(dests, tr.Parent[v])
+		}
+		dests = append(dests, children...)
+		round = append(round, schedule.Transmission{Msg: msg, From: v, To: dests})
+
+		// Propagate o-message arrivals for round t+1: only down-sends to
+		// children that are *outside* the child's own interval matter.
+		for _, c := range children {
+			if msg < c || msg > l.Hi[c] {
+				nextIncoming[c] = msg
+			}
+		}
+	}
+	// Swap buffers: incoming was cleared slot by slot above, so it becomes
+	// the fresh scratch for the next round.
+	g.incoming, g.scratch = nextIncoming, g.incoming
+	g.t++
+	return round, true
+}
+
+// destsExcludingOwner returns v's children minus the owner of m; message
+// m == v goes to all children.
+func destsExcludingOwner(l *spantree.Labeled, v, m int) []int {
+	owner := l.Owner(v, m)
+	kids := l.T.Children[v]
+	if owner == -1 {
+		return kids
+	}
+	out := make([]int, 0, len(kids)-1)
+	for _, c := range kids {
+		if c != owner {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Materialize drains the generator into a full schedule (for tests and
+// small n; defeats the memory advantage by design).
+func (g *Generator) Materialize() *schedule.Schedule {
+	s := schedule.New(g.l.N())
+	for {
+		round, ok := g.Next()
+		if !ok {
+			break
+		}
+		for _, tx := range round {
+			s.AddSend(g.t-1, tx.Msg, tx.From, tx.To...)
+		}
+	}
+	for len(s.Rounds) < g.Rounds() {
+		s.Rounds = append(s.Rounds, nil)
+	}
+	return s
+}
+
+// Summary streams the whole schedule and returns aggregate statistics plus
+// a completeness count check, all in O(n) memory: it verifies that every
+// processor receives exactly n-1 messages, never twice in a round, and
+// that rounds number exactly n + height.
+type Summary struct {
+	Rounds        int
+	Transmissions int
+	Deliveries    int
+	MaxFanout     int
+}
+
+// Verify streams the schedule and checks the O(n)-checkable invariants:
+// per-round single-send/single-receive, parent/child adjacency, delivery
+// counts (each processor receives exactly n-1), and the total time.
+// It does not track full hold sets (that is the materialising validator's
+// job, quadratic memory); the equivalence tests bridge the gap.
+func Verify(l *spantree.Labeled) (Summary, error) {
+	g := New(l)
+	n := l.N()
+	recvCount := make([]int, n)
+	sum := Summary{}
+	recvRound := make([]int, n)
+	for i := range recvRound {
+		recvRound[i] = -1
+	}
+	sentRound := make([]int, n)
+	for i := range sentRound {
+		sentRound[i] = -1
+	}
+	t := 0
+	for {
+		round, ok := g.Next()
+		if !ok {
+			break
+		}
+		for _, tx := range round {
+			if sentRound[tx.From] == t {
+				return sum, fmt.Errorf("stream: vertex %d sends twice at %d", tx.From, t)
+			}
+			sentRound[tx.From] = t
+			sum.Transmissions++
+			if len(tx.To) > sum.MaxFanout {
+				sum.MaxFanout = len(tx.To)
+			}
+			for _, d := range tx.To {
+				if d != l.T.Parent[tx.From] && l.T.Parent[d] != tx.From {
+					return sum, fmt.Errorf("stream: %d-%d is not a tree edge", tx.From, d)
+				}
+				if recvRound[d] == t {
+					return sum, fmt.Errorf("stream: vertex %d receives twice at %d", d, t)
+				}
+				recvRound[d] = t
+				recvCount[d]++
+				sum.Deliveries++
+			}
+		}
+		t++
+	}
+	sum.Rounds = t
+	if n >= 2 && t != n+l.T.Height {
+		return sum, fmt.Errorf("stream: %d rounds, want n + height = %d", t, n+l.T.Height)
+	}
+	for v, c := range recvCount {
+		if n >= 2 && c != n-1 {
+			return sum, fmt.Errorf("stream: vertex %d received %d messages, want %d", v, c, n-1)
+		}
+	}
+	return sum, nil
+}

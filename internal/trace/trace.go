@@ -1,0 +1,137 @@
+// Package trace renders schedules and trees for human inspection: the
+// per-vertex timetables in the layout of the paper's Tables 1-4, an ASCII
+// tree view of the spanning tree with DFS labels, and round-by-round
+// schedule dumps. Used by cmd/gossip and the examples.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+// FormatTimetable renders a vertex timetable in the paper's table layout:
+//
+//	Time                |  0  1  2 ...
+//	Receive from Parent |  -  -  1 ...
+//	Receive from Child  |  -  5  - ...
+//	Send to Parent      |  -  -  - ...
+//	Send to Children    |  -  -  1 ...
+//
+// Rows that are entirely empty (a leaf's child rows, the root's parent
+// rows) are omitted, as in the paper.
+func FormatTimetable(vt *schedule.VertexTimetable) string {
+	rows := []struct {
+		name  string
+		cells []int
+	}{
+		{"Receive from Parent", vt.RecvParent},
+		{"Receive from Child", vt.RecvChild},
+		{"Send to Parent", vt.SendParent},
+		{"Send to Children", vt.SendChild},
+	}
+	width := len(vt.RecvParent)
+	// Column width from the largest message label or time.
+	cw := len(fmt.Sprint(width - 1))
+	for _, r := range rows {
+		for _, m := range r.cells {
+			if w := len(fmt.Sprint(m)); m != schedule.NoMessage && w > cw {
+				cw = w
+			}
+		}
+	}
+	nameW := len("Receive from Parent")
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s |", nameW, "Time")
+	for t := 0; t < width; t++ {
+		fmt.Fprintf(&b, " %*d", cw, t)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		empty := true
+		for _, m := range r.cells {
+			if m != schedule.NoMessage {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			continue
+		}
+		fmt.Fprintf(&b, "%-*s |", nameW, r.name)
+		for _, m := range r.cells {
+			if m == schedule.NoMessage {
+				fmt.Fprintf(&b, " %*s", cw, "-")
+			} else {
+				fmt.Fprintf(&b, " %*d", cw, m)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTree renders a rooted tree with one vertex per line, indented by
+// level, annotating each vertex with an optional label (message number):
+//
+//	0 [msg 0]
+//	├─ 1 [msg 1]
+//	│  ├─ 2 [msg 2]
+//	...
+func FormatTree(t *spantree.Tree, label func(v int) string) string {
+	var b strings.Builder
+	var walk func(v int, prefix string, last bool)
+	walk = func(v int, prefix string, last bool) {
+		if v == t.Root {
+			fmt.Fprintf(&b, "%d%s\n", v, labelOf(label, v))
+		} else {
+			connector := "├─ "
+			if last {
+				connector = "└─ "
+			}
+			fmt.Fprintf(&b, "%s%s%d%s\n", prefix, connector, v, labelOf(label, v))
+			if last {
+				prefix += "   "
+			} else {
+				prefix += "│  "
+			}
+		}
+		kids := t.Children[v]
+		for idx, c := range kids {
+			childPrefix := prefix
+			if v == t.Root {
+				childPrefix = ""
+			}
+			walk(c, childPrefix, idx == len(kids)-1)
+		}
+	}
+	walk(t.Root, "", true)
+	return b.String()
+}
+
+func labelOf(label func(v int) string, v int) string {
+	if label == nil {
+		return ""
+	}
+	if s := label(v); s != "" {
+		return " " + s
+	}
+	return ""
+}
+
+// FormatRounds renders a schedule one round per line with aligned columns,
+// e.g. "t= 3 | 4->[0 5 8]:m7  9->[8]:m9".
+func FormatRounds(s *schedule.Schedule) string {
+	var b strings.Builder
+	tw := len(fmt.Sprint(s.Time() - 1))
+	for t, round := range s.Rounds {
+		fmt.Fprintf(&b, "t=%*d |", tw, t)
+		for _, tx := range round {
+			fmt.Fprintf(&b, " %d->%v:m%d", tx.From, tx.To, tx.Msg)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"multigossip/internal/core"
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+func TestFormatTimetableRootTable1Shape(t *testing.T) {
+	l := spantree.Label(spantree.MustFromParents(graph.Fig5TreeParents()))
+	s := core.BuildConcurrentUpDown(l)
+	out := FormatTimetable(schedule.VertexView(s, l.T, 0))
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Root: Time header + Receive from Child + Send to Children only.
+	if len(lines) != 3 {
+		t.Fatalf("root table has %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Time") {
+		t.Fatalf("missing Time header:\n%s", out)
+	}
+	if !strings.Contains(out, "Receive from Child") || !strings.Contains(out, "Send to Children") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	if strings.Contains(out, "Receive from Parent") {
+		t.Fatalf("root table should omit parent rows:\n%s", out)
+	}
+	// Table 1's final entry: message 0 sent at time 16.
+	if !strings.Contains(lines[2], " 0") {
+		t.Fatalf("send row missing message 0:\n%s", out)
+	}
+}
+
+func TestFormatTimetableLeafOmitsChildRows(t *testing.T) {
+	l := spantree.Label(spantree.MustFromParents([]int{-1, 0, 0}))
+	s := core.BuildConcurrentUpDown(l)
+	out := FormatTimetable(schedule.VertexView(s, l.T, 2))
+	if strings.Contains(out, "Receive from Child") || strings.Contains(out, "Send to Children") {
+		t.Fatalf("leaf table should omit child rows:\n%s", out)
+	}
+}
+
+func TestFormatTree(t *testing.T) {
+	tr := spantree.MustFromParents(graph.Fig5TreeParents())
+	out := FormatTree(tr, func(v int) string { return "" })
+	for _, want := range []string{"0\n", "├─ 1", "└─ 11", "│  ├─ 2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Every vertex appears exactly once per line count.
+	lines := strings.Count(out, "\n")
+	if lines != tr.N() {
+		t.Fatalf("tree rendering has %d lines, want %d:\n%s", lines, tr.N(), out)
+	}
+	withLabels := FormatTree(tr, func(v int) string { return "[msg]" })
+	if strings.Count(withLabels, "[msg]") != tr.N() {
+		t.Fatalf("labels missing:\n%s", withLabels)
+	}
+}
+
+func TestFormatRounds(t *testing.T) {
+	s := schedule.New(3)
+	s.AddSend(0, 1, 1, 0)
+	s.AddSend(1, 1, 0, 2)
+	out := FormatRounds(s)
+	if !strings.Contains(out, "t=0 | 1->[0]:m1") || !strings.Contains(out, "t=1 | 0->[2]:m1") {
+		t.Fatalf("round rendering unexpected:\n%s", out)
+	}
+}

@@ -1,0 +1,307 @@
+package multigossip
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	nw := Ring(8)
+	plan, err := nw.PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 8 + nw.Radius(); plan.Rounds() != want {
+		t.Fatalf("Rounds = %d, want %d", plan.Rounds(), want)
+	}
+	if err := plan.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Radius() != 4 {
+		t.Fatalf("Radius = %d, want 4", plan.Radius())
+	}
+}
+
+func TestNetworkBuilder(t *testing.T) {
+	nw := NewNetwork(4)
+	if nw.Connected() {
+		t.Fatal("edgeless network reported connected")
+	}
+	nw.AddLink(0, 1)
+	nw.AddLink(1, 2)
+	nw.AddLink(2, 3)
+	nw.AddLink(0, 1) // duplicate
+	if !nw.HasLink(1, 0) || nw.Links() != 3 || nw.Processors() != 4 {
+		t.Fatalf("builder state wrong: links=%d processors=%d", nw.Links(), nw.Processors())
+	}
+	if !nw.Connected() || nw.Diameter() != 3 || nw.Radius() != 2 {
+		t.Fatalf("metrics wrong: diameter=%d radius=%d", nw.Diameter(), nw.Radius())
+	}
+	if nw.LowerBound() != 3 {
+		t.Fatalf("LowerBound = %d, want 3", nw.LowerBound())
+	}
+	if !strings.Contains(nw.DOT("N"), "0 -- 1;") {
+		t.Fatal("DOT output missing edge")
+	}
+}
+
+func TestPlanGossipDisconnected(t *testing.T) {
+	if _, err := NewNetwork(3).PlanGossip(); err == nil {
+		t.Fatal("accepted disconnected network")
+	}
+}
+
+func TestPlanGossipUnknownAlgorithm(t *testing.T) {
+	if _, err := Ring(4).PlanGossip(WithAlgorithm(Algorithm(99))); err == nil {
+		t.Fatal("accepted unknown algorithm")
+	}
+}
+
+func TestSimpleAlgorithmOption(t *testing.T) {
+	nw := Line(9)
+	plan, err := nw.PlanGossip(WithAlgorithm(Simple))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, r := 9, nw.Radius()
+	if want := 2*n + r - 3; plan.Rounds() != want {
+		t.Fatalf("Simple rounds = %d, want %d", plan.Rounds(), want)
+	}
+	if err := plan.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanAccessors(t *testing.T) {
+	plan, err := Fig4Network().PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rounds() != 19 {
+		t.Fatalf("Fig4 rounds = %d, want 19", plan.Rounds())
+	}
+	round0 := plan.Round(0)
+	if len(round0) == 0 {
+		t.Fatal("round 0 empty")
+	}
+	for _, tx := range round0 {
+		if len(tx.To) == 0 {
+			t.Fatal("transmission without destinations")
+		}
+	}
+	tt := plan.TimetableOf(0)
+	if !strings.Contains(tt, "Send to Children") {
+		t.Fatalf("timetable malformed:\n%s", tt)
+	}
+	tree := plan.TreeString()
+	if !strings.Contains(tree, "[msg 0, level 0]") {
+		t.Fatalf("tree rendering malformed:\n%s", tree)
+	}
+	if !strings.Contains(plan.Stats(), "time=19") {
+		t.Fatalf("stats malformed: %s", plan.Stats())
+	}
+}
+
+func TestExecuteDistributed(t *testing.T) {
+	for _, algo := range []Algorithm{ConcurrentUpDown, Simple} {
+		plan, err := Mesh(4, 4).PlanGossip(WithAlgorithm(algo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds, err := plan.ExecuteDistributed()
+		if err != nil {
+			t.Fatalf("algo %d: %v", int(algo), err)
+		}
+		if rounds != plan.Rounds() {
+			t.Fatalf("algo %d: distributed %d rounds, offline %d", int(algo), rounds, plan.Rounds())
+		}
+	}
+}
+
+func TestPlanBroadcast(t *testing.T) {
+	nw := SensorField(rand.New(rand.NewSource(8)), 50, 0.2)
+	bp, err := nw.PlanBroadcast(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Rounds() > nw.Diameter() {
+		t.Fatalf("broadcast rounds %d exceed diameter %d", bp.Rounds(), nw.Diameter())
+	}
+}
+
+func TestPlanWeightedGossip(t *testing.T) {
+	nw := Star(6)
+	wp, err := nw.PlanWeightedGossip([]int{2, 1, 3, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wp.TotalMessages() != 10 {
+		t.Fatalf("TotalMessages = %d, want 10", wp.TotalMessages())
+	}
+	if err := wp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if wp.MessageOwner(0) != 0 || wp.MessageOwner(9) == 0 {
+		t.Fatal("message ownership wrong")
+	}
+	if wp.Rounds() > wp.ExpandedRounds() {
+		t.Fatal("contraction longer than expansion")
+	}
+	if len(wp.Round(0)) == 0 {
+		t.Fatal("weighted round 0 empty")
+	}
+	if _, err := nw.PlanWeightedGossip([]int{1}); err == nil {
+		t.Fatal("accepted wrong counts length")
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cases := []struct {
+		name string
+		nw   *Network
+		n    int
+	}{
+		{"Line", Line(5), 5},
+		{"Ring", Ring(6), 6},
+		{"Star", Star(7), 7},
+		{"FullyConnected", FullyConnected(5), 5},
+		{"Mesh", Mesh(3, 4), 12},
+		{"Torus", Torus(3, 3), 9},
+		{"Hypercube", Hypercube(4), 16},
+		{"Petersen", PetersenGraph(), 10},
+		{"Fig4", Fig4Network(), 16},
+		{"Random", RandomNetwork(rng, 20, 0.2), 20},
+		{"Sensor", SensorField(rng, 25, 0.25), 25},
+		{"RandomTree", RandomTreeNetwork(rng, 15), 15},
+	}
+	for _, c := range cases {
+		if c.nw.Processors() != c.n {
+			t.Errorf("%s: processors = %d, want %d", c.name, c.nw.Processors(), c.n)
+		}
+		if !c.nw.Connected() {
+			t.Errorf("%s: not connected", c.name)
+		}
+		plan, err := c.nw.PlanGossip()
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if err := plan.Verify(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+		if want := c.n + c.nw.Radius(); plan.Rounds() != want {
+			t.Errorf("%s: rounds %d, want %d", c.name, plan.Rounds(), want)
+		}
+	}
+}
+
+func TestPlanOptimalLine(t *testing.T) {
+	for _, m := range []int{1, 5, 12} {
+		plan, err := PlanOptimalLine(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.Verify(); err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if plan.Rounds() != 3*m {
+			t.Fatalf("m=%d: rounds %d, want %d", m, plan.Rounds(), 3*m)
+		}
+		// One round better than the uniform algorithm.
+		uniform, err := Line(2*m + 1).PlanGossip()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uniform.Rounds()-plan.Rounds() != 1 {
+			t.Fatalf("m=%d: gap %d, want 1", m, uniform.Rounds()-plan.Rounds())
+		}
+	}
+	if _, err := PlanOptimalLine(0); err == nil {
+		t.Fatal("accepted m = 0")
+	}
+}
+
+func TestSpanningTree(t *testing.T) {
+	parents, err := Fig4Network().SpanningTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parents[0] != -1 || parents[4] != 0 || parents[9] != 8 {
+		t.Fatalf("spanning tree parents wrong: %v", parents)
+	}
+	if _, err := NewNetwork(2).SpanningTree(); err == nil {
+		t.Fatal("accepted disconnected network")
+	}
+}
+
+func TestGossipStreamSummary(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	nw := RandomTreeNetwork(rng, 400)
+	exact, err := nw.GossipStreamSummary(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := nw.GossipStreamSummary(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a tree network the approximate construction is exact too.
+	if exact.TreeHeight != approx.TreeHeight || exact.TreeHeight != nw.Radius() {
+		t.Fatalf("heights exact=%d approx=%d radius=%d", exact.TreeHeight, approx.TreeHeight, nw.Radius())
+	}
+	if exact.Rounds != 400+exact.TreeHeight {
+		t.Fatalf("rounds %d, want n + r", exact.Rounds)
+	}
+	if exact.Deliveries != 400*399 {
+		t.Fatalf("deliveries %d", exact.Deliveries)
+	}
+	if !exact.ExactTree || approx.ExactTree {
+		t.Fatal("ExactTree flags wrong")
+	}
+	if _, err := NewNetwork(2).GossipStreamSummary(true); err == nil {
+		t.Fatal("accepted disconnected network")
+	}
+}
+
+func TestLoadNetworkRoundTrip(t *testing.T) {
+	orig := PetersenGraph()
+	var b strings.Builder
+	if err := orig.WriteEdgeList(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadNetwork(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Processors() != 10 || back.Links() != 15 {
+		t.Fatalf("round trip sizes wrong: n=%d m=%d", back.Processors(), back.Links())
+	}
+	plan, err := back.PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rounds() != 12 {
+		t.Fatalf("rounds %d, want 12", plan.Rounds())
+	}
+	if _, err := LoadNetwork(strings.NewReader("bogus")); err == nil {
+		t.Fatal("bogus edge list accepted")
+	}
+}
+
+func TestRoundOutOfRange(t *testing.T) {
+	plan, err := Ring(4).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Round(-1) != nil || plan.Round(plan.Rounds()) != nil {
+		t.Fatal("out-of-range rounds should be nil")
+	}
+	if len(plan.Round(0)) == 0 {
+		t.Fatal("round 0 should have transmissions")
+	}
+}

@@ -1,0 +1,77 @@
+package multigossip
+
+import "testing"
+
+func TestOptimalRoundsModels(t *testing.T) {
+	// The Fig. 3 separation through the public API.
+	n3 := NewNetwork(5)
+	for _, hub := range []int{0, 1} {
+		for _, leaf := range []int{2, 3, 4} {
+			n3.AddLink(hub, leaf)
+		}
+	}
+	multi, err := n3.OptimalRounds(MulticastModel, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel, err := n3.OptimalRounds(TelephoneModel, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi != 4 || tel != 6 {
+		t.Fatalf("optima multicast=%d telephone=%d, want 4, 6", multi, tel)
+	}
+	if _, err := FullyConnected(20).OptimalRounds(MulticastModel, 3); err == nil {
+		t.Fatal("oversized exact search accepted")
+	}
+}
+
+func TestGreedyRoundsPetersen(t *testing.T) {
+	best, err := PetersenGraph().GreedyRounds(MulticastModel, 42, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < 9 || best > 11 {
+		t.Fatalf("Petersen greedy best = %d, want within [9, 11]", best)
+	}
+	if _, err := NewNetwork(3).GreedyRounds(MulticastModel, 1, 1); err == nil {
+		t.Fatal("disconnected network accepted")
+	}
+}
+
+func TestPlanPetersenTelephone(t *testing.T) {
+	plan, err := PlanPetersenTelephone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rounds() != 9 {
+		t.Fatalf("rounds %d, want 9 = n - 1", plan.Rounds())
+	}
+}
+
+func TestHamiltonianCircuitAndRotationAPI(t *testing.T) {
+	ring := Ring(9)
+	circuit, ok := ring.HamiltonianCircuit()
+	if !ok || len(circuit) != 9 {
+		t.Fatalf("ring circuit not found: %v %v", circuit, ok)
+	}
+	plan, err := ring.PlanRingRotation(circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rounds() != 8 {
+		t.Fatalf("rotation rounds %d, want 8", plan.Rounds())
+	}
+	if _, ok := PetersenGraph().HamiltonianCircuit(); ok {
+		t.Fatal("Petersen reported Hamiltonian")
+	}
+	if _, err := ring.PlanRingRotation([]int{0, 1, 2}); err == nil {
+		t.Fatal("bad circuit accepted")
+	}
+}

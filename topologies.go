@@ -1,0 +1,63 @@
+package multigossip
+
+import (
+	"math/rand"
+
+	"multigossip/internal/graph"
+)
+
+// Topology constructors for the network families used throughout the
+// paper's discussion and this repository's experiments. All return ready
+// Networks; random variants take an explicit *rand.Rand for reproducibility.
+
+// Line returns the straight-line network 0-1-...-(n-1), the paper's
+// lower-bound instance: with n = 2m+1 processors every schedule needs at
+// least n + r - 1 rounds.
+func Line(n int) *Network { return fromGraph(graph.Path(n)) }
+
+// Ring returns the cycle C_n (n >= 3), the Fig. 1 network N1.
+func Ring(n int) *Network { return fromGraph(graph.Cycle(n)) }
+
+// Star returns K_{1,n-1} with processor 0 as hub — the topology where
+// multicasting beats the telephone model by the largest factor.
+func Star(n int) *Network { return fromGraph(graph.Star(n)) }
+
+// FullyConnected returns the complete network K_n (the paper's earlier
+// multimessage multicasting work targets this case).
+func FullyConnected(n int) *Network { return fromGraph(graph.Complete(n)) }
+
+// Mesh returns the rows x cols grid.
+func Mesh(rows, cols int) *Network { return fromGraph(graph.Grid(rows, cols)) }
+
+// Torus returns the rows x cols wraparound grid.
+func Torus(rows, cols int) *Network { return fromGraph(graph.Torus(rows, cols)) }
+
+// Hypercube returns the d-dimensional hypercube on 2^d processors.
+func Hypercube(d int) *Network { return fromGraph(graph.Hypercube(d)) }
+
+// PetersenGraph returns the Fig. 2 network N2: non-Hamiltonian, yet
+// gossiping completes in n - 1 = 9 rounds.
+func PetersenGraph() *Network { return fromGraph(graph.Petersen()) }
+
+// Fig4Network returns the reconstructed 16-processor network of Fig. 4,
+// whose minimum-depth spanning tree is the paper's Fig. 5 tree.
+func Fig4Network() *Network { return fromGraph(graph.Fig4()) }
+
+// RandomNetwork returns a connected random network: each possible link is
+// present with probability p, then connectivity is repaired.
+func RandomNetwork(rng *rand.Rand, n int, p float64) *Network {
+	return fromGraph(graph.RandomConnected(rng, n, p))
+}
+
+// SensorField returns a connected random geometric network: n sensors
+// uniform in the unit square, linked within the given radio radius — the
+// wireless setting that motivates multicasting in the paper (a single
+// transmission reaches every receiver in range).
+func SensorField(rng *rand.Rand, n int, radio float64) *Network {
+	return fromGraph(graph.RandomGeometric(rng, n, radio))
+}
+
+// RandomTreeNetwork returns a uniformly random labelled tree on n processors.
+func RandomTreeNetwork(rng *rand.Rand, n int) *Network {
+	return fromGraph(graph.RandomTree(rng, n))
+}

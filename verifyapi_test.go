@@ -1,0 +1,57 @@
+package multigossip
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyScheduleJSONAcceptsOwnPlans(t *testing.T) {
+	nw := Ring(7)
+	plan, err := nw.PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := plan.ScheduleJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := VerifyScheduleJSON(nw, []byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "VALID") || !strings.Contains(report, "time=10") {
+		t.Fatalf("report unexpected: %s", report)
+	}
+}
+
+func TestVerifyScheduleJSONRejects(t *testing.T) {
+	nw := Ring(7)
+	if _, err := VerifyScheduleJSON(nw, []byte("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A valid schedule for the wrong topology: ring schedule on a line.
+	plan, err := Ring(7).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := plan.ScheduleJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyScheduleJSON(Line(7), []byte(text)); err == nil {
+		t.Fatal("ring schedule accepted on a line network")
+	}
+	// Truncated schedule: strip the closing rounds by decoding, cutting,
+	// re-encoding — simpler: a schedule from a smaller network.
+	small, err := Ring(6).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallText, err := small.ScheduleJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyScheduleJSON(Ring(7), []byte(smallText)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
