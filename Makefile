@@ -1,0 +1,38 @@
+# Development targets. `make check` is the PR gate: vet, build, the full
+# test suite under the race detector (the sweep engine runs a worker pool on
+# every MinDepth/Radius/Diameter call, so every PR must exercise it under
+# -race), and a one-iteration sweep benchmark smoke.
+
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench sweep-record experiments
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every Sweep* benchmark: proves the naive and pruned paths
+# still run and agree without paying full measurement time.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=Sweep -benchtime=1x . ./internal/graph
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+# Regenerate the BENCH_sweep.json perf record (naive vs pruned sweep across
+# ring/grid/random at n in {256, 1024, 4096}).
+sweep-record:
+	$(GO) run ./cmd/sweepbench -out BENCH_sweep.json
+
+experiments:
+	$(GO) run ./cmd/experiments

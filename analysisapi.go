@@ -7,6 +7,7 @@ import (
 	"multigossip/internal/async"
 	"multigossip/internal/baseline"
 	"multigossip/internal/fault"
+	"multigossip/internal/graph"
 	"multigossip/internal/pipeline"
 	"multigossip/internal/schedule"
 )
@@ -52,6 +53,48 @@ func (p *KPortPlan) Verify() error {
 		}
 	}
 	return nil
+}
+
+// SweepStats reports how much of an n-root BFS sweep the parallel pruned
+// engine actually ran. Roots is the number of candidate roots (= number of
+// processors); Seeds the sequential double-sweep traversals that bootstrap
+// the pruning bounds; Completed the traversals run to completion (seeds
+// included); Pruned the roots skipped outright by an eccentricity lower
+// bound; ShortCircuited the traversals abandoned mid-flight once their
+// frontier depth exceeded the best tree height already found; Workers the
+// size of the worker pool. Completed + Pruned + ShortCircuited == Roots
+// (up to seed-phase double-visits), so Pruned + ShortCircuited over Roots
+// is the fraction of the paper's O(nm) construction the engine avoided.
+type SweepStats struct {
+	Roots          int
+	Seeds          int
+	Completed      int
+	Pruned         int
+	ShortCircuited int
+	Workers        int
+}
+
+func sweepStatsFrom(s graph.SweepStats) SweepStats {
+	return SweepStats{
+		Roots:          s.Roots,
+		Seeds:          s.Seeds,
+		Completed:      s.Completed,
+		Pruned:         s.Pruned,
+		ShortCircuited: s.ShortCircuited,
+		Workers:        s.Workers,
+	}
+}
+
+// TreeSweepStats reports the sweep-engine counters for this plan's
+// Section 3.1 minimum-depth spanning tree construction — the dominant cost
+// of PlanGossip.
+func (p *Plan) TreeSweepStats() SweepStats { return sweepStatsFrom(p.result.Sweep) }
+
+// MetricSweepStats reports the counters of the cached full metric sweep
+// behind Radius/Diameter/Center/Eccentricities, computing it first if no
+// metric has been asked for yet. The network must be connected.
+func (nw *Network) MetricSweepStats() SweepStats {
+	return sweepStatsFrom(nw.sweepMetrics().Stats)
 }
 
 // Analysis tooling on plans: what the schedule costs on real hardware, how

@@ -113,3 +113,48 @@ func TestPlanKPortGossip(t *testing.T) {
 		t.Fatal("zero ports accepted")
 	}
 }
+
+func TestPlanTreeSweepStats(t *testing.T) {
+	plan, err := Mesh(12, 12).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.TreeSweepStats()
+	if s.Roots != 144 || s.Workers < 1 || s.Seeds < 1 {
+		t.Fatalf("implausible tree sweep stats %+v", s)
+	}
+	if s.Completed+s.Pruned+s.ShortCircuited != s.Roots {
+		t.Fatalf("tree sweep stats do not cover all roots: %+v", s)
+	}
+	if s.Pruned+s.ShortCircuited == 0 {
+		t.Fatalf("pruning never fired on a 12x12 mesh: %+v", s)
+	}
+}
+
+func TestNetworkMetricSweepSharedAndInvalidated(t *testing.T) {
+	nw := Mesh(4, 5)
+	r, d := nw.Radius(), nw.Diameter()
+	if r != 4 || d != 7 {
+		t.Fatalf("mesh 4x5 radius/diameter = %d/%d, want 4/7", r, d)
+	}
+	s := nw.MetricSweepStats()
+	if s.Roots != 20 || s.Completed != 20 {
+		t.Fatalf("metric sweep stats %+v, want all 20 roots completed", s)
+	}
+	ecc := nw.Eccentricities()
+	if len(ecc) != 20 || ecc[0] != 7 {
+		t.Fatalf("eccentricities %v, want corner ecc 7", ecc)
+	}
+	centers := nw.Center()
+	for _, c := range centers {
+		if ecc[c] != r {
+			t.Fatalf("center %d has ecc %d != radius %d", c, ecc[c], r)
+		}
+	}
+	// Mutating the network must invalidate the cached sweep: the shortcut
+	// link drops the corner's eccentricity from 7.
+	nw.AddLink(0, 19)
+	if e := nw.Eccentricities()[0]; e >= 7 {
+		t.Fatalf("corner eccentricity %d not reduced by shortcut link (stale cache?)", e)
+	}
+}

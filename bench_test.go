@@ -14,6 +14,7 @@ package multigossip_test
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -290,6 +291,100 @@ func BenchmarkStageEndToEnd(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Gossip(g, core.ConcurrentUpDown); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- sweep engine benchmarks (see BENCH_sweep.json, cmd/sweepbench) ---
+
+// sweepBenchGraph builds the three sweep benchmark topologies: a ring (all
+// eccentricities tie, the engine's worst case), a square grid (widely
+// varying eccentricities, pruning's best case), and a sparse random graph
+// with average degree ~8 (small diameter, where early exit is weak but the
+// engine's CSR layout and allocation-free traversals still pay).
+func sweepBenchGraph(kind string, n int) *graph.Graph {
+	switch kind {
+	case "ring":
+		return graph.Cycle(n)
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		return graph.Grid(side, side)
+	case "random":
+		rng := rand.New(rand.NewSource(int64(n)))
+		return graph.RandomConnected(rng, n, 8/float64(n))
+	default:
+		panic("unknown sweep benchmark topology " + kind)
+	}
+}
+
+var sweepBenchSizes = []int{256, 1024, 4096}
+
+// naiveMinDepthSweep is the paper's literal O(nm) Section 3.1 loop, the
+// sequential-naive baseline the engine is measured against.
+func naiveMinDepthSweep(g *graph.Graph) (*spantree.Tree, error) {
+	var best *spantree.Tree
+	for root := 0; root < g.N(); root++ {
+		t, err := spantree.BFSTree(g, root)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || t.Height < best.Height {
+			best = t
+		}
+	}
+	return best, nil
+}
+
+func BenchmarkSweepMinDepthNaive(b *testing.B) {
+	for _, kind := range []string{"ring", "grid", "random"} {
+		for _, n := range sweepBenchSizes {
+			g := sweepBenchGraph(kind, n)
+			b.Run(fmt.Sprintf("%s/n=%d", kind, g.N()), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := naiveMinDepthSweep(g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSweepMinDepthPruned(b *testing.B) {
+	for _, kind := range []string{"ring", "grid", "random"} {
+		for _, n := range sweepBenchSizes {
+			g := sweepBenchGraph(kind, n)
+			b.Run(fmt.Sprintf("%s/n=%d", kind, g.N()), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					tr, stats, err := spantree.MinDepthWithStats(g)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						traversals := stats.Completed + stats.ShortCircuited
+						b.ReportMetric(float64(traversals), "traversals")
+						_ = tr
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSweepEccentricitiesAll(b *testing.B) {
+	// The unpruned full sweep behind Eccentricities/Diameter: n exact
+	// traversals fanned over the worker pool on the CSR layout.
+	for _, n := range sweepBenchSizes {
+		g := sweepBenchGraph("random", n)
+		b.Run(fmt.Sprintf("random/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.Sweep(graph.SweepAll); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -37,6 +37,7 @@ type Result struct {
 	Tree     *spantree.Tree     // minimum-depth spanning tree (original ids)
 	Labeled  *spantree.Labeled  // DFS labelling of Tree
 	Radius   int                // tree height == network radius
+	Sweep    graph.SweepStats   // work the §3.1 root sweep actually did
 }
 
 // Gossip runs the paper's full pipeline on an arbitrary connected network:
@@ -48,11 +49,13 @@ func Gossip(g *graph.Graph, algo Algorithm) (*Result, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("core: empty network")
 	}
-	tree, err := spantree.MinDepth(g)
+	tree, sweep, err := spantree.MinDepthWithStats(g)
 	if err != nil {
 		return nil, fmt.Errorf("core: building minimum-depth spanning tree: %w", err)
 	}
-	return GossipOnTree(tree)[algo](), nil
+	res := GossipOnTree(tree)[algo]()
+	res.Sweep = sweep
+	return res, nil
 }
 
 // GossipOnTree returns lazy constructors for each algorithm on a fixed

@@ -126,73 +126,58 @@ func (g *Graph) Eccentricity(v int) int {
 	return ecc
 }
 
-// Eccentricities returns the eccentricity of every vertex using n BFS
-// traversals (O(nm)). It panics on disconnected graphs.
-func (g *Graph) Eccentricities() []int {
-	ecc := make([]int, g.N())
-	for v := range ecc {
-		ecc[v] = g.Eccentricity(v)
+// mustSweep runs a sweep and converts disconnection into the documented
+// panic the metric methods share.
+func (g *Graph) mustSweep(mode SweepMode) *SweepResult {
+	res, err := g.Sweep(mode)
+	if err != nil {
+		panic("graph: eccentricity undefined on a disconnected graph")
 	}
-	return ecc
+	return res
+}
+
+// Eccentricities returns the eccentricity of every vertex. The n BFS
+// traversals run on the parallel sweep engine (see Sweep); the naive O(nm)
+// loop over Eccentricity is retained only as the test oracle. It panics on
+// disconnected graphs.
+func (g *Graph) Eccentricities() []int {
+	if g.N() == 0 {
+		return make([]int, 0)
+	}
+	return g.mustSweep(SweepAll).Ecc
 }
 
 // Radius returns the minimum eccentricity, i.e. the least r such that some
 // vertex reaches every vertex within r edges. This is the r of the paper's
-// n + r bound.
+// n + r bound. It runs on the pruned parallel sweep (Sweep with SweepMin).
 func (g *Graph) Radius() int {
 	r, _ := g.RadiusCenter()
 	return r
 }
 
-// Diameter returns the maximum eccentricity.
+// Diameter returns the maximum eccentricity, via a full parallel sweep.
 func (g *Graph) Diameter() int {
 	if g.N() == 0 {
 		return 0
 	}
-	ecc := g.Eccentricities()
-	d := 0
-	for _, e := range ecc {
-		if e > d {
-			d = e
-		}
-	}
-	return d
+	return g.mustSweep(SweepAll).Diameter
 }
 
 // RadiusCenter returns the radius together with the lowest-numbered center
-// vertex (a vertex achieving the radius).
+// vertex (a vertex achieving the radius), via the pruned parallel sweep.
 func (g *Graph) RadiusCenter() (radius, center int) {
 	if g.N() == 0 {
 		return 0, -1
 	}
-	radius = -1
-	center = -1
-	for v := 0; v < g.N(); v++ {
-		e := g.Eccentricity(v)
-		if radius == -1 || e < radius {
-			radius, center = e, v
-		}
-	}
-	return radius, center
+	res := g.mustSweep(SweepMin)
+	return res.Radius, res.Center
 }
 
-// Center returns all vertices of minimum eccentricity, sorted.
+// Center returns all vertices of minimum eccentricity, sorted, via the
+// pruned parallel sweep.
 func (g *Graph) Center() []int {
 	if g.N() == 0 {
 		return nil
 	}
-	ecc := g.Eccentricities()
-	r := ecc[0]
-	for _, e := range ecc {
-		if e < r {
-			r = e
-		}
-	}
-	var out []int
-	for v, e := range ecc {
-		if e == r {
-			out = append(out, v)
-		}
-	}
-	return out
+	return append([]int(nil), g.mustSweep(SweepMin).Centers...)
 }

@@ -70,6 +70,103 @@ func TestQuickMinDepthNeverWorseThanAnyRoot(t *testing.T) {
 	}
 }
 
+// naiveMinDepth is the paper's literal Section 3.1 loop — a BFS tree from
+// every root, keeping the first one of least height — retained as the
+// reference implementation the sweep-engine construction must match bit
+// for bit.
+func naiveMinDepth(g *graph.Graph) (*Tree, error) {
+	var best *Tree
+	for root := 0; root < g.N(); root++ {
+		t, err := BFSTree(g, root)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || t.Height < best.Height {
+			best = t
+		}
+	}
+	return best, nil
+}
+
+// TestQuickMinDepthBitIdenticalToNaive: the pruned parallel sweep behind
+// MinDepth returns exactly the tree of the naive n-BFS loop — same root,
+// same parent array, same height — on random connected graphs.
+func TestQuickMinDepthBitIdenticalToNaive(t *testing.T) {
+	prop := func(seed int64, rawN, rawP uint8) bool {
+		n := 1 + int(rawN)%40
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(rng, n, float64(rawP)/255)
+		want, err := naiveMinDepth(g)
+		if err != nil {
+			return false
+		}
+		got, err := MinDepth(g)
+		if err != nil {
+			return false
+		}
+		if got.Root != want.Root || got.Height != want.Height {
+			return false
+		}
+		for v := range want.Parent {
+			if got.Parent[v] != want.Parent[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickApproxMinDepthBounds: the doc-comment claims of ApproxMinDepth,
+// property-tested — on arbitrary random connected graphs the double-sweep
+// tree height lies in [radius, 2*radius] (with the n = 1 radius-0 corner
+// handled), and on random trees it is exactly the radius.
+func TestQuickApproxMinDepthBounds(t *testing.T) {
+	prop := func(seed int64, rawN, rawP uint8) bool {
+		n := 1 + int(rawN)%48
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(rng, n, float64(rawP)/255)
+		tr, err := ApproxMinDepth(g)
+		if err != nil {
+			return false
+		}
+		r := g.Radius()
+		if tr.Height < r || tr.Height > 2*r {
+			return false
+		}
+		tree := graph.RandomTree(rng, n)
+		tt, err := ApproxMinDepth(tree)
+		if err != nil {
+			return false
+		}
+		return tt.Height == tree.Radius()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMinDepthStatsObservability: the engine reports a coherent account of
+// the work the construction did.
+func TestMinDepthStatsObservability(t *testing.T) {
+	g := graph.Grid(12, 12)
+	tr, stats, err := MinDepthWithStats(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height != g.Radius() {
+		t.Fatalf("height %d != radius %d", tr.Height, g.Radius())
+	}
+	if stats.Roots != g.N() || stats.Completed+stats.Pruned+stats.ShortCircuited != stats.Roots {
+		t.Fatalf("incoherent stats %+v", stats)
+	}
+	if stats.Pruned+stats.ShortCircuited == 0 {
+		t.Fatalf("no pruning on a 12x12 grid: %+v", stats)
+	}
+}
+
 // TestQuickFromParentsRejectsOrAccepts: FromParents on arbitrary parent
 // arrays never panics; when it accepts, the result is a consistent rooted
 // tree (levels increase by one along parent edges, the children lists

@@ -122,27 +122,35 @@ func BFSTree(g *graph.Graph, root int) (*Tree, error) {
 	return FromParents(parent)
 }
 
-// MinDepth constructs a minimum-depth spanning tree of g exactly as the
-// paper prescribes: run a BFS traversal from every vertex and keep the tree
-// of least height. Ties break toward the lowest-numbered root so the
-// construction is deterministic. The height of the result equals the radius
-// of g. O(nm) time. g must be connected and non-empty.
+// MinDepth constructs a minimum-depth spanning tree of g with the result
+// the paper's Section 3.1 prescribes: of the n BFS trees, the one of least
+// height, ties broken toward the lowest-numbered root. The n-root search
+// runs on the pruned parallel sweep engine (graph.Sweep with SweepMin)
+// instead of the naive sequential loop, but the returned tree — root,
+// parent array, height — is bit-identical to the naive construction
+// (asserted by differential tests). The height of the result equals the
+// radius of g. g must be connected and non-empty.
 func MinDepth(g *graph.Graph) (*Tree, error) {
-	n := g.N()
-	if n == 0 {
-		return nil, fmt.Errorf("spantree: empty graph")
+	t, _, err := MinDepthWithStats(g)
+	return t, err
+}
+
+// MinDepthWithStats is MinDepth, additionally reporting how much work the
+// sweep engine did (roots completed, pruned, short-circuited) for
+// observability.
+func MinDepthWithStats(g *graph.Graph) (*Tree, graph.SweepStats, error) {
+	if g.N() == 0 {
+		return nil, graph.SweepStats{}, fmt.Errorf("spantree: empty graph")
 	}
-	var best *Tree
-	for root := 0; root < n; root++ {
-		t, err := BFSTree(g, root)
-		if err != nil {
-			return nil, err
-		}
-		if best == nil || t.Height < best.Height {
-			best = t
-		}
+	res, err := g.Sweep(graph.SweepMin)
+	if err != nil {
+		return nil, graph.SweepStats{}, fmt.Errorf("spantree: %w", err)
 	}
-	return best, nil
+	t, err := BFSTree(g, res.Center)
+	if err != nil {
+		return nil, graph.SweepStats{}, err
+	}
+	return t, res.Stats, nil
 }
 
 // ApproxMinDepth constructs a low-depth spanning tree in O(m) time with

@@ -26,7 +26,9 @@
 package multigossip
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"multigossip/internal/baseline"
 	"multigossip/internal/core"
@@ -52,6 +54,13 @@ const (
 // 0..n-1 and links are added with AddLink.
 type Network struct {
 	g *graph.Graph
+
+	// metrics caches the result of one full parallel BFS sweep, so that
+	// Radius, Diameter, Center and Eccentricities on the same network
+	// together cost a single sweep instead of one O(nm) pass each. AddLink
+	// invalidates it.
+	mu      sync.Mutex
+	metrics *graph.SweepResult
 }
 
 // NewNetwork returns a network with n processors and no links.
@@ -61,7 +70,28 @@ func NewNetwork(n int) *Network { return &Network{g: graph.New(n)} }
 func fromGraph(g *graph.Graph) *Network { return &Network{g: g} }
 
 // AddLink adds the bidirectional link {u, v}; adding it twice is a no-op.
-func (nw *Network) AddLink(u, v int) { nw.g.AddEdge(u, v) }
+func (nw *Network) AddLink(u, v int) {
+	nw.g.AddEdge(u, v)
+	nw.mu.Lock()
+	nw.metrics = nil
+	nw.mu.Unlock()
+}
+
+// sweepMetrics returns the cached full-sweep metrics, computing them on
+// first use. It panics on disconnected networks, matching the documented
+// behaviour of the metric accessors.
+func (nw *Network) sweepMetrics() *graph.SweepResult {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.metrics == nil {
+		res, err := nw.g.Sweep(graph.SweepAll)
+		if err != nil {
+			panic("graph: eccentricity undefined on a disconnected graph")
+		}
+		nw.metrics = res
+	}
+	return nw.metrics
+}
 
 // HasLink reports whether {u, v} is a link.
 func (nw *Network) HasLink(u, v int) bool { return nw.g.HasEdge(u, v) }
@@ -77,11 +107,25 @@ func (nw *Network) Connected() bool { return nw.g.IsConnected() }
 
 // Radius returns the network radius r: the least eccentricity over all
 // processors. PlanGossip schedules complete in exactly Processors() + r
-// rounds. The network must be connected.
-func (nw *Network) Radius() int { return nw.g.Radius() }
+// rounds. The network must be connected. Radius, Diameter, Center and
+// Eccentricities share one cached parallel BFS sweep.
+func (nw *Network) Radius() int { return nw.sweepMetrics().Radius }
 
 // Diameter returns the maximum eccentricity. The network must be connected.
-func (nw *Network) Diameter() int { return nw.g.Diameter() }
+func (nw *Network) Diameter() int { return nw.sweepMetrics().Diameter }
+
+// Center returns every processor of minimum eccentricity, ascending — the
+// candidate roots of the paper's minimum-depth spanning tree. The network
+// must be connected.
+func (nw *Network) Center() []int {
+	return append([]int(nil), nw.sweepMetrics().Centers...)
+}
+
+// Eccentricities returns the eccentricity of every processor. The network
+// must be connected.
+func (nw *Network) Eccentricities() []int {
+	return append([]int(nil), nw.sweepMetrics().Ecc...)
+}
 
 // LowerBound returns the best cheap lower bound on any gossip schedule:
 // max(n-1, diameter).
@@ -121,11 +165,14 @@ func (nw *Network) PlanGossip(opts ...PlanOption) (*Plan, error) {
 	default:
 		return nil, fmt.Errorf("multigossip: unknown algorithm %d", int(cfg.algo))
 	}
-	if !nw.g.IsConnected() {
-		return nil, fmt.Errorf("multigossip: network is not connected")
-	}
+	// Connectivity is not checked up front: the minimum-depth sweep inside
+	// core.Gossip already proves it (or reports disconnection), so a
+	// dedicated BFS here would be a redundant O(m) pass per plan.
 	res, err := core.Gossip(nw.g, internalAlgo)
 	if err != nil {
+		if errors.Is(err, graph.ErrDisconnected) {
+			return nil, fmt.Errorf("multigossip: network is not connected")
+		}
 		return nil, err
 	}
 	return &Plan{network: nw.g, result: res, algo: cfg.algo}, nil
