@@ -1,13 +1,14 @@
 # Development targets. `make check` is the PR gate: vet, build, the full
 # test suite under the race detector (the sweep engine runs a worker pool on
 # every MinDepth/Radius/Diameter call, so every PR must exercise it under
-# -race), and a one-iteration sweep benchmark smoke.
+# -race), a one-iteration sweep benchmark smoke, and a small faultbench run
+# proving the fault-injection / repair pipeline end to end.
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench sweep-record experiments
+.PHONY: check vet build test race bench-smoke fault-smoke bench sweep-record fault-record experiments
 
-check: vet build race bench-smoke
+check: vet build race bench-smoke fault-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +27,11 @@ race:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Sweep -benchtime=1x . ./internal/graph
 
+# Small end-to-end run of the self-healing pipeline: inject loss, repair,
+# and require the record machinery to work, without paying full bench time.
+fault-smoke:
+	$(GO) run ./cmd/faultbench -sizes 64 -rates 0.01 -trials 1 -out /dev/null
+
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
@@ -33,6 +39,11 @@ bench:
 # ring/grid/random at n in {256, 1024, 4096}).
 sweep-record:
 	$(GO) run ./cmd/sweepbench -out BENCH_sweep.json
+
+# Regenerate the BENCH_fault.json robustness record (coverage vs loss rate
+# and repair overhead across ring/grid/random at n in {256, 1024}).
+fault-record:
+	$(GO) run ./cmd/faultbench -out BENCH_fault.json
 
 experiments:
 	$(GO) run ./cmd/experiments

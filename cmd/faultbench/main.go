@@ -1,0 +1,204 @@
+// Command faultbench measures the self-healing pipeline: it executes
+// ConcurrentUpDown plans under Bernoulli link loss, lets the repair engine
+// close the residual deficit, and records the coverage-vs-loss-rate curve
+// and the repair overhead in a machine-readable record (BENCH_fault.json
+// by default).
+//
+// For every topology in {ring, grid, random}, every size in -sizes and
+// every loss rate in -rates it averages -trials seeded executions and
+// reports: coverage after the scheduled rounds alone (the raw degradation
+// the zero-redundancy schedule suffers), coverage after repair, deliveries
+// dropped and pairs repaired, repair rounds and iterations, and the
+// overhead of repair relative to the schedule length.
+//
+//	go run ./cmd/faultbench -out BENCH_fault.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"multigossip"
+)
+
+type record struct {
+	Topology             string  `json:"topology"`
+	N                    int     `json:"n"`
+	M                    int     `json:"m"`
+	Radius               int     `json:"radius"`
+	Diameter             int     `json:"diameter"`
+	LossRate             float64 `json:"loss_rate"`
+	Trials               int     `json:"trials"`
+	RepairBudget         int     `json:"repair_budget"`
+	ScheduleRounds       int     `json:"schedule_rounds"`
+	ScheduleDeliveries   int     `json:"schedule_deliveries"`
+	MeanCoverageRaw      float64 `json:"mean_coverage_before_repair"`
+	MeanCoverageRepaired float64 `json:"mean_coverage_after_repair"`
+	MeanDropped          float64 `json:"mean_dropped_deliveries"`
+	MeanRepaired         float64 `json:"mean_repaired_pairs"`
+	MeanRepairRounds     float64 `json:"mean_repair_rounds"`
+	MeanRepairIterations float64 `json:"mean_repair_iterations"`
+	RepairOverhead       float64 `json:"repair_overhead"` // repair rounds / schedule rounds
+	AllComplete          bool    `json:"all_complete"`
+}
+
+type report struct {
+	Tool       string   `json:"tool"`
+	Benchmark  string   `json:"benchmark"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	GoVersion  string   `json:"go_version"`
+	Cases      []record `json:"cases"`
+}
+
+func buildNetwork(kind string, n int) *multigossip.Network {
+	switch kind {
+	case "ring":
+		return multigossip.Ring(n)
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		return multigossip.Mesh(side, side)
+	case "random":
+		rng := rand.New(rand.NewSource(int64(n)))
+		return multigossip.RandomNetwork(rng, n, 8/float64(n))
+	}
+	panic("unknown topology " + kind)
+}
+
+func measure(kind string, n int, rates []float64, trials, budget int) ([]record, error) {
+	nw := buildNetwork(kind, n)
+	plan, err := nw.PlanGossip()
+	if err != nil {
+		return nil, err
+	}
+	deliveries := 0
+	for t := 0; t < plan.Rounds(); t++ {
+		for _, tx := range plan.Round(t) {
+			deliveries += len(tx.To)
+		}
+	}
+	var out []record
+	for _, rate := range rates {
+		rec := record{
+			Topology:           kind,
+			N:                  nw.Processors(),
+			M:                  nw.Links(),
+			Radius:             nw.Radius(),
+			Diameter:           nw.Diameter(),
+			LossRate:           rate,
+			Trials:             trials,
+			RepairBudget:       budget,
+			ScheduleRounds:     plan.Rounds(),
+			ScheduleDeliveries: deliveries,
+			AllComplete:        true,
+		}
+		for trial := 0; trial < trials; trial++ {
+			seed := int64(n)*1000 + int64(trial)
+			rep, err := plan.ExecuteWithFaults(
+				multigossip.WithLinkLoss(rate, seed),
+				multigossip.WithRepairBudget(budget),
+			)
+			if err != nil {
+				return nil, err
+			}
+			rec.MeanCoverageRaw += rep.Coverage
+			rec.MeanCoverageRepaired += rep.FinalCoverage
+			rec.MeanDropped += float64(rep.Dropped)
+			rec.MeanRepaired += float64(rep.Repaired)
+			rec.MeanRepairRounds += float64(rep.RepairRounds)
+			rec.MeanRepairIterations += float64(rep.RepairIterations)
+			rec.AllComplete = rec.AllComplete && rep.Complete
+		}
+		ft := float64(trials)
+		rec.MeanCoverageRaw /= ft
+		rec.MeanCoverageRepaired /= ft
+		rec.MeanDropped /= ft
+		rec.MeanRepaired /= ft
+		rec.MeanRepairRounds /= ft
+		rec.MeanRepairIterations /= ft
+		rec.RepairOverhead = rec.MeanRepairRounds / float64(rec.ScheduleRounds)
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func parseList[T any](s string, parse func(string) (T, error)) ([]T, error) {
+	var out []T
+	for _, f := range strings.Split(s, ",") {
+		v, err := parse(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_fault.json", "output path for the fault record")
+	sizes := flag.String("sizes", "256,1024", "comma-separated processor counts")
+	rates := flag.String("rates", "0,0.001,0.01,0.05", "comma-separated per-delivery loss probabilities")
+	trials := flag.Int("trials", 3, "seeded executions averaged per (topology, size, rate)")
+	budget := flag.Int("budget", 64, "repair iteration budget (each iteration costs at most the diameter in rounds)")
+	flag.Parse()
+
+	ns, err := parseList(*sizes, strconv.Atoi)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultbench: -sizes: %v\n", err)
+		os.Exit(2)
+	}
+	ps, err := parseList(*rates, func(s string) (float64, error) { return strconv.ParseFloat(s, 64) })
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultbench: -rates: %v\n", err)
+		os.Exit(2)
+	}
+	if *trials < 1 {
+		fmt.Fprintln(os.Stderr, "faultbench: -trials must be >= 1")
+		os.Exit(2)
+	}
+	if *budget < 1 {
+		fmt.Fprintln(os.Stderr, "faultbench: -budget must be >= 1")
+		os.Exit(2)
+	}
+
+	rep := report{
+		Tool:       "cmd/faultbench",
+		Benchmark:  "ConcurrentUpDown under Bernoulli link loss: coverage before/after repair and repair overhead",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	fmt.Printf("%-8s %6s %8s %9s %9s %8s %9s %7s %8s\n",
+		"topology", "n", "loss", "raw cov", "final", "dropped", "rep.rnds", "iters", "overhead")
+	for _, kind := range []string{"ring", "grid", "random"} {
+		for _, n := range ns {
+			recs, err := measure(kind, n, ps, *trials, *budget)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "faultbench: %s n=%d: %v\n", kind, n, err)
+				os.Exit(1)
+			}
+			for _, r := range recs {
+				rep.Cases = append(rep.Cases, r)
+				fmt.Printf("%-8s %6d %8.4f %9.5f %9.5f %8.1f %9.1f %7.1f %8.4f\n",
+					r.Topology, r.N, r.LossRate, r.MeanCoverageRaw, r.MeanCoverageRepaired,
+					r.MeanDropped, r.MeanRepairRounds, r.MeanRepairIterations, r.RepairOverhead)
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "faultbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

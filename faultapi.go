@@ -1,0 +1,183 @@
+package multigossip
+
+import (
+	"fmt"
+
+	"multigossip/internal/fault"
+	"multigossip/internal/repair"
+)
+
+// FaultReport summarises one faulty execution of a plan and the repair
+// rounds that followed it.
+type FaultReport struct {
+	// Coverage is the fraction of (processor, message) pairs delivered by
+	// the scheduled rounds alone, with full fault propagation.
+	Coverage float64
+	// FinalCoverage is the fraction held after repair (equal to Coverage
+	// when repair is disabled or nothing was missing).
+	FinalCoverage float64
+	// Dropped counts deliveries lost in flight, in the scheduled and the
+	// repair rounds together. Deliveries a faulty upstream prevented from
+	// being sent at all are not counted — they were never in flight.
+	Dropped int
+	// Repaired counts the (processor, message) pairs the repair rounds
+	// restored.
+	Repaired int
+	// ScheduleRounds is the length of the original plan, RepairRounds the
+	// extra rounds repair executed, and TotalRounds their sum.
+	ScheduleRounds int
+	RepairRounds   int
+	TotalRounds    int
+	// RepairIterations is the number of plan-execute-remeasure iterations
+	// the repair engine ran; each executes at most the network diameter
+	// rounds.
+	RepairIterations int
+	// Complete reports whether every processor holds every message at the
+	// end.
+	Complete bool
+}
+
+type faultConfig struct {
+	injectors  fault.Compose
+	repair     bool
+	maxIters   int
+	validation error
+}
+
+// FaultOption configures ExecuteWithFaults.
+type FaultOption func(*faultConfig)
+
+// WithDroppedDelivery marks one delivery of the plan as lost in flight: the
+// destination dest of transmission index tx in round round (the indices of
+// Plan.Round). Repeat the option to drop several deliveries.
+func WithDroppedDelivery(round, tx, dest int) FaultOption {
+	return func(c *faultConfig) {
+		if round < 0 || tx < 0 || dest < 0 {
+			c.validation = fmt.Errorf("multigossip: negative delivery coordinates (%d, %d, %d)", round, tx, dest)
+			return
+		}
+		c.injectors = append(c.injectors, fault.DropSet{{Round: round, Tx: tx, Dest: dest}: true})
+	}
+}
+
+// WithLinkLoss loses every delivery independently with the given
+// probability — the Bernoulli lossy-link model. Decisions are derived from
+// the seed by hashing, so a run is deterministic and repair retries of the
+// same link in later rounds draw fresh coins.
+func WithLinkLoss(p float64, seed int64) FaultOption {
+	return func(c *faultConfig) {
+		if p < 0 || p > 1 {
+			c.validation = fmt.Errorf("multigossip: loss probability %v out of [0,1]", p)
+			return
+		}
+		c.injectors = append(c.injectors, fault.LinkLoss{P: p, Seed: seed})
+	}
+}
+
+// WithCrashWindow crashes processor proc for rounds from <= t < to: it
+// neither sends nor receives in the window, keeps what it already held, and
+// rejoins afterwards. Rounds are numbered across the whole execution, so a
+// window reaching past the schedule length crashes the processor during
+// repair too.
+func WithCrashWindow(proc, from, to int) FaultOption {
+	return func(c *faultConfig) {
+		if proc < 0 {
+			c.validation = fmt.Errorf("multigossip: negative crash processor %d", proc)
+			return
+		}
+		if from < 0 || to < from {
+			c.validation = fmt.Errorf("multigossip: bad crash window [%d, %d)", from, to)
+			return
+		}
+		c.injectors = append(c.injectors, fault.CrashWindow{Proc: proc, From: from, To: to})
+	}
+}
+
+// WithoutRepair disables the repair engine: the report describes the raw
+// degradation of the schedule under the injected faults.
+func WithoutRepair() FaultOption {
+	return func(c *faultConfig) { c.repair = false }
+}
+
+// WithRepairBudget bounds the repair engine's retry loop to at most iters
+// plan-execute iterations (default repair.DefaultMaxIterations). Each
+// iteration appends at most the network diameter rounds.
+func WithRepairBudget(iters int) FaultOption {
+	return func(c *faultConfig) {
+		if iters < 1 {
+			c.validation = fmt.Errorf("multigossip: repair budget %d < 1", iters)
+			return
+		}
+		c.maxIters = iters
+	}
+}
+
+// ExecuteWithFaults replays the plan under injected faults — explicit
+// delivery drops, Bernoulli link loss, processor crash windows — with full
+// fault propagation: a processor that never received a message silently
+// skips its scheduled relays of it. It then runs the self-healing loop:
+// compute the residual deficit (which processors miss which messages),
+// greedily synthesize repair rounds that respect the communication model
+// over any network link (one multicast per sender and at most one receive
+// per processor per round), execute them under the same fault model, and
+// iterate while messages are still missing, up to the repair budget. Every
+// synthesized repair batch is re-validated against the model rules before
+// it runs.
+//
+// The returned report gives coverage before and after repair, the
+// dropped and repaired delivery counts, and the rounds spent. With no
+// options the execution is fault-free and the report is trivially
+// complete. The zero-redundancy ConcurrentUpDown schedule loses coverage
+// under any fault (see Plan.Criticality); this is the closed-loop
+// counterpart that wins it back.
+func (p *Plan) ExecuteWithFaults(opts ...FaultOption) (FaultReport, error) {
+	cfg := faultConfig{repair: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.validation != nil {
+		return FaultReport{}, cfg.validation
+	}
+	var inj fault.Injector
+	if len(cfg.injectors) > 0 {
+		inj = cfg.injectors
+	}
+	s := p.result.Schedule
+	for _, c := range cfg.injectors {
+		if cw, ok := c.(fault.CrashWindow); ok && cw.Proc >= s.N {
+			return FaultReport{}, fmt.Errorf("multigossip: crash processor %d out of range [0,%d)", cw.Proc, s.N)
+		}
+	}
+	holds, dropped, err := fault.ExecuteInjected(p.network, s, inj, nil, 0)
+	if err != nil {
+		return FaultReport{}, err
+	}
+	rep := FaultReport{
+		Coverage:       fault.Coverage(holds),
+		ScheduleRounds: s.Time(),
+		Dropped:        dropped,
+	}
+	if !cfg.repair {
+		rep.FinalCoverage = rep.Coverage
+		rep.TotalRounds = rep.ScheduleRounds
+		rep.Complete = repair.MissingPairs(holds) == 0
+		return rep, nil
+	}
+	out, err := repair.Run(p.network, holds, repair.Options{
+		MaxIterations: cfg.maxIters,
+		Injector:      inj,
+		RoundOffset:   s.Time(),
+		Validate:      true,
+	})
+	if err != nil {
+		return FaultReport{}, err
+	}
+	rep.Dropped += out.Dropped
+	rep.Repaired = out.Repaired
+	rep.RepairRounds = out.Rounds
+	rep.RepairIterations = out.Iterations
+	rep.TotalRounds = rep.ScheduleRounds + out.Rounds
+	rep.FinalCoverage = fault.Coverage(out.Holds)
+	rep.Complete = out.Complete
+	return rep, nil
+}

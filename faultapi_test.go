@@ -1,0 +1,193 @@
+package multigossip
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// namedNetworks returns a small instance of every named topology
+// constructor, the set the acceptance property tests sweep.
+func namedNetworks() map[string]*Network {
+	rng := rand.New(rand.NewSource(5))
+	return map[string]*Network{
+		"line":      Line(7),
+		"ring":      Ring(9),
+		"star":      Star(8),
+		"complete":  FullyConnected(6),
+		"mesh":      Mesh(3, 4),
+		"torus":     Torus(3, 3),
+		"hypercube": Hypercube(3),
+		"petersen":  PetersenGraph(),
+		"fig4":      Fig4Network(),
+		"random":    RandomNetwork(rng, 12, 0.3),
+		"sensor":    SensorField(rng, 12, 0.5),
+		"tree":      RandomTreeNetwork(rng, 12),
+	}
+}
+
+func TestExecuteWithFaultsFaultFree(t *testing.T) {
+	plan, err := Ring(8).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := plan.ExecuteWithFaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete || rep.Coverage != 1 || rep.FinalCoverage != 1 {
+		t.Fatalf("fault-free execution incomplete: %+v", rep)
+	}
+	if rep.Dropped != 0 || rep.Repaired != 0 || rep.RepairRounds != 0 || rep.RepairIterations != 0 {
+		t.Fatalf("fault-free execution paid for repair: %+v", rep)
+	}
+	if rep.TotalRounds != plan.Rounds() || rep.ScheduleRounds != plan.Rounds() {
+		t.Fatalf("round accounting wrong: %+v", rep)
+	}
+}
+
+// TestExecuteWithFaultsHealsEverySingleDrop: every delivery of a
+// ConcurrentUpDown schedule is critical (Plan.Criticality is 1.0), yet
+// repair restores full coverage after any single drop, in at most
+// diameter-per-iteration extra rounds.
+func TestExecuteWithFaultsHealsEverySingleDrop(t *testing.T) {
+	for name, nw := range namedNetworks() {
+		plan, err := nw.PlanGossip()
+		if err != nil {
+			t.Fatal(err)
+		}
+		diameter := nw.Diameter()
+		for r := 0; r < plan.Rounds(); r++ {
+			for txIdx, tx := range plan.Round(r) {
+				for _, d := range tx.To {
+					rep, err := plan.ExecuteWithFaults(WithDroppedDelivery(r, txIdx, d))
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if rep.Coverage >= 1 {
+						t.Fatalf("%s: dropping (%d,%d,%d) left coverage %v — CUD deliveries are all critical",
+							name, r, txIdx, d, rep.Coverage)
+					}
+					if !rep.Complete || rep.FinalCoverage != 1 {
+						t.Fatalf("%s: drop (%d,%d,%d) not healed: %+v", name, r, txIdx, d, rep)
+					}
+					if rep.RepairRounds > diameter*rep.RepairIterations {
+						t.Fatalf("%s: overhead %d rounds in %d iterations exceeds diameter %d per iteration",
+							name, rep.RepairRounds, rep.RepairIterations, diameter)
+					}
+					if rep.Repaired < 1 || rep.Dropped < 1 {
+						t.Fatalf("%s: accounting wrong: %+v", name, rep)
+					}
+					if rep.TotalRounds != rep.ScheduleRounds+rep.RepairRounds {
+						t.Fatalf("%s: round accounting wrong: %+v", name, rep)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteWithFaultsHealsRandomLoss: seeded 1% Bernoulli loss — striking
+// repair rounds too — is healed to coverage 1.0 on every named topology.
+func TestExecuteWithFaultsHealsRandomLoss(t *testing.T) {
+	for name, nw := range namedNetworks() {
+		plan, err := nw.PlanGossip()
+		if err != nil {
+			t.Fatal(err)
+		}
+		diameter := nw.Diameter()
+		rep, err := plan.ExecuteWithFaults(WithLinkLoss(0.01, 11))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !rep.Complete || rep.FinalCoverage != 1 {
+			t.Fatalf("%s: 1%% loss not healed: %+v", name, rep)
+		}
+		if rep.RepairRounds > diameter*rep.RepairIterations {
+			t.Fatalf("%s: overhead %d rounds in %d iterations exceeds diameter %d per iteration",
+				name, rep.RepairRounds, rep.RepairIterations, diameter)
+		}
+	}
+}
+
+func TestExecuteWithFaultsCrashWindow(t *testing.T) {
+	plan, err := Mesh(4, 4).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := plan.ExecuteWithFaults(WithCrashWindow(5, 0, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage >= 1 {
+		t.Fatalf("crashing a processor for 6 rounds lost nothing: %+v", rep)
+	}
+	if !rep.Complete || rep.FinalCoverage != 1 {
+		t.Fatalf("crash window not healed: %+v", rep)
+	}
+}
+
+func TestExecuteWithFaultsWithoutRepair(t *testing.T) {
+	plan, err := Ring(9).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := plan.ExecuteWithFaults(WithDroppedDelivery(0, 0, plan.Round(0)[0].To[0]), WithoutRepair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete || rep.FinalCoverage != rep.Coverage || rep.Coverage >= 1 {
+		t.Fatalf("WithoutRepair still repaired: %+v", rep)
+	}
+	if rep.RepairRounds != 0 || rep.TotalRounds != rep.ScheduleRounds {
+		t.Fatalf("WithoutRepair round accounting wrong: %+v", rep)
+	}
+}
+
+// TestExecuteWithFaultsRepairBudget: a budget of one iteration may leave a
+// heavy loss unhealed, but the report must say so honestly.
+func TestExecuteWithFaultsRepairBudget(t *testing.T) {
+	plan, err := Ring(32).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := plan.ExecuteWithFaults(WithLinkLoss(0.2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := plan.ExecuteWithFaults(WithLinkLoss(0.2, 3), WithRepairBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.RepairIterations > 1 {
+		t.Fatalf("budget 1 ran %d iterations", capped.RepairIterations)
+	}
+	if capped.FinalCoverage > full.FinalCoverage {
+		t.Fatalf("capped repair beat full repair: %v > %v", capped.FinalCoverage, full.FinalCoverage)
+	}
+	if full.Coverage != capped.Coverage {
+		t.Fatalf("same seed gave different raw coverage: %v vs %v — loss model not deterministic",
+			full.Coverage, capped.Coverage)
+	}
+}
+
+func TestExecuteWithFaultsRejectsBadOptions(t *testing.T) {
+	plan, err := Ring(8).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opt := range map[string]FaultOption{
+		"negative delivery":   WithDroppedDelivery(-1, 0, 0),
+		"loss below range":    WithLinkLoss(-0.1, 1),
+		"loss above range":    WithLinkLoss(1.1, 1),
+		"negative crash proc": WithCrashWindow(-1, 0, 5),
+		"inverted window":     WithCrashWindow(0, 5, 2),
+		"zero budget":         WithRepairBudget(0),
+	} {
+		if _, err := plan.ExecuteWithFaults(opt); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	if _, err := plan.ExecuteWithFaults(WithCrashWindow(8, 0, 5)); err == nil {
+		t.Fatal("out-of-range crash processor accepted")
+	}
+}

@@ -7,6 +7,15 @@
 // consequences of dropped deliveries (a processor that never received a
 // message silently skips its scheduled relays of it), and the analyses
 // report coverage and single-drop criticality.
+//
+// Faults are described by Injectors — deterministic models deciding which
+// deliveries are lost in flight and which processors are crashed in which
+// rounds. Three models are provided: DropSet (an explicit per-delivery drop
+// map), LinkLoss (i.i.d. Bernoulli loss per delivery, decided by a seeded
+// hash so the same delivery always meets the same fate), and CrashWindow
+// (a fail-silent processor outage over a round interval). Package repair
+// consumes the hold sets this package produces and synthesizes the rounds
+// that close the residual deficit.
 package fault
 
 import (
@@ -23,37 +32,172 @@ type DeliveryID struct {
 	Round, Tx, Dest int
 }
 
-// Execute runs s on g leniently: scheduled transmissions of messages the
-// sender does not hold are skipped (the fault has propagated), deliveries
-// listed in dropped are lost in flight, and double receives simply discard
-// the later message rather than erroring (a receiver conflict caused by
-// upstream faults). It returns per-processor hold sets and the achieved
-// coverage: the fraction of (processor, message) pairs held at the end.
-func Execute(g *graph.Graph, s *schedule.Schedule, dropped map[DeliveryID]bool) (holds []*schedule.Bitset, coverage float64, err error) {
+// Injector is a deterministic fault model. Execution asks it, for every
+// delivery, whether that delivery is lost in flight, and, for every
+// (round, processor) pair, whether the processor is crashed for the round
+// (neither sending nor receiving, but retaining its memory). Rounds are
+// absolute indices: repair rounds appended after a T-round schedule are
+// asked about rounds T, T+1, ... so one injector spans an entire
+// execute-repair pipeline. Implementations must be pure functions of their
+// arguments — the engine may ask about the same delivery more than once.
+type Injector interface {
+	// Drop reports whether the delivery of msg from processor from to
+	// processor to, sent as transmission index tx of (absolute) round t, is
+	// lost in flight.
+	Drop(t, tx, from, to, msg int) bool
+	// Down reports whether processor p is crashed during (absolute) round t.
+	Down(t, p int) bool
+}
+
+// DropSet is the explicit fault model: exactly the listed deliveries of the
+// main schedule are lost. It never crashes processors. Repair rounds are
+// unaffected (their round indices lie beyond the schedule, where the set
+// has no entries), matching its use for single-drop criticality probes.
+type DropSet map[DeliveryID]bool
+
+// Drop implements Injector.
+func (d DropSet) Drop(t, tx, _, to, _ int) bool { return d[DeliveryID{t, tx, to}] }
+
+// Down implements Injector.
+func (DropSet) Down(int, int) bool { return false }
+
+// LinkLoss is the Bernoulli lossy-link model: every delivery is lost
+// independently with probability P. The decision is a pure hash of
+// (Seed, round, sender, receiver, message) — not of the transmission
+// index — so it is deterministic, independent of execution order, and a
+// retry of the same (sender, receiver, message) link use in a later round
+// draws a fresh coin while a replay of the identical round reproduces the
+// identical faults.
+type LinkLoss struct {
+	P    float64
+	Seed int64
+}
+
+// Drop implements Injector.
+func (l LinkLoss) Drop(t, _, from, to, msg int) bool {
+	if l.P <= 0 {
+		return false
+	}
+	if l.P >= 1 {
+		return true
+	}
+	x := mix64(uint64(l.Seed) ^ mix64(uint64(t)+1))
+	x = mix64(x ^ mix64(uint64(from)+1))
+	x = mix64(x ^ mix64(uint64(to)+1))
+	x = mix64(x ^ mix64(uint64(msg)+1))
+	// 53 uniform mantissa bits, the same construction math/rand uses.
+	return float64(x>>11)/(1<<53) < l.P
+}
+
+// Down implements Injector.
+func (LinkLoss) Down(int, int) bool { return false }
+
+// mix64 is the splitmix64 finalizer, a cheap high-quality bijective mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// CrashWindow is a fail-silent processor outage: Proc neither sends nor
+// receives during rounds From <= t < To, keeps the messages it already
+// held, and rejoins afterwards.
+type CrashWindow struct {
+	Proc, From, To int
+}
+
+// Drop implements Injector.
+func (CrashWindow) Drop(int, int, int, int, int) bool { return false }
+
+// Down implements Injector.
+func (c CrashWindow) Down(t, p int) bool { return p == c.Proc && t >= c.From && t < c.To }
+
+// Compose unions fault models: a delivery is dropped, or a processor down,
+// when any component model says so.
+type Compose []Injector
+
+// Drop implements Injector.
+func (cs Compose) Drop(t, tx, from, to, msg int) bool {
+	for _, c := range cs {
+		if c.Drop(t, tx, from, to, msg) {
+			return true
+		}
+	}
+	return false
+}
+
+// Down implements Injector.
+func (cs Compose) Down(t, p int) bool {
+	for _, c := range cs {
+		if c.Down(t, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// ExecuteInjected is the general lenient executor. Scheduled transmissions
+// of messages the sender does not hold — or whose sender is crashed — are
+// skipped (the fault has propagated), deliveries the injector drops or
+// whose receiver is crashed are lost in flight, and same-round receiver
+// conflicts (possible only after upstream faults or in hand-built
+// schedules) discard the later message rather than erroring.
+//
+// initial gives the starting hold sets (cloned, not modified); nil means
+// the basic gossiping instance — processor p holds exactly message p —
+// which requires NMsg == N. roundOffset is added to every round index
+// before the injector is consulted, so repair rounds appended after a
+// T-round schedule run with offset T and see absolute round numbers.
+//
+// It returns the final hold sets and the number of deliveries lost in
+// flight (skipped transmissions send nothing, so their deliveries are not
+// counted as drops).
+func ExecuteInjected(g *graph.Graph, s *schedule.Schedule, inj Injector, initial []*schedule.Bitset, roundOffset int) (holds []*schedule.Bitset, dropped int, err error) {
 	if g.N() != s.N {
 		return nil, 0, fmt.Errorf("fault: graph has %d processors, schedule %d", g.N(), s.N)
 	}
-	if s.NMsg != s.N {
-		return nil, 0, fmt.Errorf("fault: lenient executor supports the basic instance only")
-	}
-	holds = make([]*schedule.Bitset, s.N)
-	for v := range holds {
-		holds[v] = schedule.NewBitset(s.NMsg)
-		holds[v].Set(v)
+	if initial == nil {
+		if s.NMsg != s.N {
+			return nil, 0, fmt.Errorf("fault: lenient executor supports the basic instance only")
+		}
+		holds = make([]*schedule.Bitset, s.N)
+		for v := range holds {
+			holds[v] = schedule.NewBitset(s.NMsg)
+			holds[v].Set(v)
+		}
+	} else {
+		if len(initial) != s.N {
+			return nil, 0, fmt.Errorf("fault: %d initial hold sets for %d processors", len(initial), s.N)
+		}
+		holds = make([]*schedule.Bitset, s.N)
+		for v, h := range initial {
+			if h.Len() != s.NMsg {
+				return nil, 0, fmt.Errorf("fault: initial hold set %d sized %d, want %d", v, h.Len(), s.NMsg)
+			}
+			holds[v] = h.Clone()
+		}
 	}
 	received := make([]int, s.N) // round of last receive, -1 otherwise
 	for i := range received {
 		received[i] = -1
 	}
 	for t, round := range s.Rounds {
+		abs := roundOffset + t
 		type delivery struct{ msg, to int }
 		var arriving []delivery
 		for txIdx, tx := range round {
+			if inj != nil && inj.Down(abs, tx.From) {
+				continue // crashed sender: nothing leaves it
+			}
 			if !holds[tx.From].Has(tx.Msg) {
 				continue // fault propagation: nothing to send
 			}
 			for _, d := range tx.To {
-				if dropped[DeliveryID{t, txIdx, d}] {
+				if inj != nil && (inj.Drop(abs, txIdx, tx.From, d, tx.Msg) || inj.Down(abs, d)) {
+					dropped++
 					continue
 				}
 				if received[d] == t {
@@ -67,12 +211,32 @@ func Execute(g *graph.Graph, s *schedule.Schedule, dropped map[DeliveryID]bool) 
 			holds[a.to].Set(a.msg)
 		}
 	}
-	total := s.N * s.NMsg
+	return holds, dropped, nil
+}
+
+// Coverage returns the fraction of (processor, message) pairs present in
+// the hold sets.
+func Coverage(holds []*schedule.Bitset) float64 {
+	if len(holds) == 0 {
+		return 0
+	}
 	got := 0
 	for _, h := range holds {
 		got += h.Count()
 	}
-	return holds, float64(got) / float64(total), nil
+	return float64(got) / float64(len(holds)*holds[0].Len())
+}
+
+// Execute runs s on g leniently with the listed deliveries lost in flight;
+// see ExecuteInjected for the execution semantics. It returns per-processor
+// hold sets and the achieved coverage: the fraction of (processor, message)
+// pairs held at the end.
+func Execute(g *graph.Graph, s *schedule.Schedule, dropped map[DeliveryID]bool) (holds []*schedule.Bitset, coverage float64, err error) {
+	holds, _, err = ExecuteInjected(g, s, DropSet(dropped), nil, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return holds, Coverage(holds), nil
 }
 
 // CriticalityReport summarises a single-drop sweep.

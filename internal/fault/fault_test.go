@@ -6,6 +6,7 @@ import (
 
 	"multigossip/internal/core"
 	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
 	"multigossip/internal/spantree"
 )
 
@@ -129,6 +130,181 @@ func TestRandomLossCoverageDegrades(t *testing.T) {
 		if err != nil || cov != 1 {
 			t.Fatalf("lossless run degraded: %v cov=%v", err, cov)
 		}
+	}
+}
+
+// TestExecuteDoubleReceiveDiscardsLater: when two transmissions of the
+// same round target one receiver (possible only in hand-built or
+// fault-corrupted schedules — the validator forbids it), the lenient
+// executor keeps the first arrival and discards the later one.
+func TestExecuteDoubleReceiveDiscardsLater(t *testing.T) {
+	g := graph.Complete(3)
+	s := schedule.New(3)
+	s.AddSend(0, 0, 0, 1) // t=0: 0 -> {1} : m0
+	s.AddSend(0, 2, 2, 1) // t=0: 2 -> {1} : m2, conflicting at receiver 1
+	holds, cov, err := Execute(g, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holds[1].Has(0) || holds[1].Has(2) {
+		t.Fatalf("receiver 1 holds %v; want m0 kept and m2 discarded", holds[1].Missing())
+	}
+	if want := 4.0 / 9.0; cov != want {
+		t.Fatalf("coverage %v, want %v", cov, want)
+	}
+	// The discarded message must also not have blocked the slot for later
+	// rounds: a retry in round 1 lands.
+	s.AddSend(1, 2, 2, 1)
+	holds, _, err = Execute(g, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holds[1].Has(2) {
+		t.Fatal("round-1 retry of the discarded message did not land")
+	}
+}
+
+// TestDropOfPropagationSkippedDelivery: dropping a delivery whose
+// transmission was already skipped by fault propagation (the sender never
+// got the message) changes nothing — the delivery was never in flight.
+func TestDropOfPropagationSkippedDelivery(t *testing.T) {
+	g := graph.Path(3)
+	s := schedule.New(3)
+	s.AddSend(0, 0, 0, 1) // t=0: 0 -> {1} : m0
+	s.AddSend(1, 0, 1, 2) // t=1: 1 -> {2} : m0 (skipped once t=0 is dropped)
+	first := map[DeliveryID]bool{{0, 0, 1}: true}
+	both := map[DeliveryID]bool{{0, 0, 1}: true, {1, 0, 2}: true}
+	_, covFirst, err := Execute(g, s, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, covBoth, err := Execute(g, s, both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covFirst != covBoth {
+		t.Fatalf("dropping an already-skipped delivery changed coverage: %v vs %v", covFirst, covBoth)
+	}
+	// And the skipped delivery must not be billed as dropped: only the
+	// round-0 delivery was in flight.
+	_, dropped, err := ExecuteInjected(g, s, DropSet(both), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped count %d, want 1 (skipped transmissions are not in flight)", dropped)
+	}
+}
+
+// TestExecuteRejectsWeightedInstance: the lenient executor supports the
+// basic instance only — NMsg != N without explicit initial holds is an
+// error, not a silent misread.
+func TestExecuteRejectsWeightedInstance(t *testing.T) {
+	g := graph.Path(3)
+	s := schedule.NewWithMessages(3, 2)
+	s.AddSend(0, 0, 0, 1)
+	if _, _, err := Execute(g, s, nil); err == nil {
+		t.Fatal("accepted NMsg != N")
+	}
+	if _, _, err := ExecuteInjected(g, s, nil, nil, 0); err == nil {
+		t.Fatal("ExecuteInjected accepted NMsg != N without initial holds")
+	}
+	// With explicit initial holds of the right shape it is accepted.
+	initial := make([]*schedule.Bitset, 3)
+	for i := range initial {
+		initial[i] = schedule.NewBitset(2)
+	}
+	initial[0].Set(0)
+	if _, _, err := ExecuteInjected(g, s, nil, initial, 0); err != nil {
+		t.Fatalf("rejected explicit initial holds: %v", err)
+	}
+	initial[1] = schedule.NewBitset(5)
+	if _, _, err := ExecuteInjected(g, s, nil, initial, 0); err == nil {
+		t.Fatal("accepted initial hold set of the wrong capacity")
+	}
+}
+
+// TestLinkLossDeterministicAndFresh: the Bernoulli model is a pure hash —
+// the same delivery always meets the same fate — while the same link use in
+// a different round draws a fresh coin.
+func TestLinkLossDeterministicAndFresh(t *testing.T) {
+	l := LinkLoss{P: 0.5, Seed: 42}
+	sameTwice := l.Drop(3, 0, 1, 2, 7) == l.Drop(3, 9, 1, 2, 7) // tx index must not matter
+	if !sameTwice {
+		t.Fatal("drop decision depends on the transmission index")
+	}
+	for i := 0; i < 100; i++ {
+		if l.Drop(i, 0, 1, 2, 7) != l.Drop(i, 0, 1, 2, 7) {
+			t.Fatal("drop decision not deterministic")
+		}
+	}
+	drops := 0
+	for i := 0; i < 1000; i++ {
+		if l.Drop(i, 0, 1, 2, 7) {
+			drops++
+		}
+	}
+	if drops < 400 || drops > 600 {
+		t.Fatalf("1000 p=0.5 coins gave %d drops; hash badly biased", drops)
+	}
+	if (LinkLoss{P: 0, Seed: 1}).Drop(0, 0, 1, 2, 3) {
+		t.Fatal("p=0 dropped")
+	}
+	if !(LinkLoss{P: 1, Seed: 1}).Drop(0, 0, 1, 2, 3) {
+		t.Fatal("p=1 delivered")
+	}
+}
+
+// TestCrashWindow: a crashed processor neither sends nor receives inside
+// its window, keeps its memory, and rejoins afterwards; the round offset
+// shifts the window lookup.
+func TestCrashWindow(t *testing.T) {
+	g := graph.Path(3)
+	s := schedule.New(3)
+	s.AddSend(0, 0, 0, 1) // t=0: 0 -> {1} : m0   (1 is down: lost)
+	s.AddSend(1, 1, 1, 2) // t=1: 1 -> {2} : m1   (1 is down: skipped)
+	s.AddSend(2, 1, 1, 0) // t=2: 1 -> {0} : m1   (1 is back: delivered)
+	inj := CrashWindow{Proc: 1, From: 0, To: 2}
+	holds, dropped, err := ExecuteInjected(g, s, inj, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds[1].Has(0) {
+		t.Fatal("crashed receiver still received")
+	}
+	if holds[2].Has(1) {
+		t.Fatal("crashed sender still sent")
+	}
+	if !holds[0].Has(1) {
+		t.Fatal("recovered processor failed to send after its window")
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped %d, want 1 (the delivery to the crashed receiver)", dropped)
+	}
+	// With offset 2 the whole schedule runs at absolute rounds 2..4, past
+	// the window: nothing is lost.
+	holds, dropped, err = ExecuteInjected(g, s, inj, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 || !holds[1].Has(0) || !holds[2].Has(1) {
+		t.Fatalf("offset execution still faulted: dropped=%d", dropped)
+	}
+}
+
+func TestComposeUnions(t *testing.T) {
+	inj := Compose{
+		DropSet{{Round: 0, Tx: 0, Dest: 1}: true},
+		CrashWindow{Proc: 2, From: 1, To: 2},
+	}
+	if !inj.Drop(0, 0, 9, 1, 9) {
+		t.Fatal("composed DropSet lost")
+	}
+	if inj.Drop(1, 0, 9, 1, 9) {
+		t.Fatal("phantom drop")
+	}
+	if !inj.Down(1, 2) || inj.Down(0, 2) || inj.Down(1, 1) {
+		t.Fatal("composed crash window wrong")
 	}
 }
 

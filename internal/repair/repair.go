@@ -1,0 +1,216 @@
+// Package repair closes the loop that package fault opens: given the hold
+// sets left behind by a faulty execution, it computes the residual deficit
+// — which (processor, message) pairs are still missing — and greedily
+// synthesizes repair rounds that deliver exactly those pairs. Repair
+// schedules respect the full communication model (each processor multicasts
+// at most one message and receives at most one message per round) but are
+// not confined to the spanning tree the original schedule communicated
+// over: any network link may carry a repair delivery, so a hole is filled
+// from its nearest holder, not from its tree parent.
+//
+// Because repair rounds traverse the same lossy links as the original
+// schedule, the engine iterates: plan a bounded batch of rounds from the
+// current holds, execute it under the same fault injector, re-measure the
+// deficit, and retry, up to a bounded number of iterations. Each iteration
+// plans at most the network diameter rounds — enough for a wavefront from
+// the holders of a message to reach every processor missing it when no
+// further faults strike — so the retry loop converges geometrically under
+// any sub-certain loss rate.
+package repair
+
+import (
+	"fmt"
+
+	"multigossip/internal/fault"
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// DefaultMaxIterations bounds the retry loop when Options.MaxIterations is
+// unset. Under i.i.d. loss rate p each missing pair survives an iteration
+// with probability about p, so sixteen iterations put the residual deficit
+// below any practical loss rate's noise floor.
+const DefaultMaxIterations = 16
+
+// MissingPairs returns the number of (processor, message) pairs absent
+// from the hold sets — the size of the deficit repair must close.
+func MissingPairs(holds []*schedule.Bitset) int {
+	missing := 0
+	for _, h := range holds {
+		missing += h.Len() - h.Count()
+	}
+	return missing
+}
+
+// PlanRounds greedily synthesizes at most maxRounds repair rounds that
+// shrink the deficit of holds on network g, assuming lossless delivery
+// while planning (the caller re-executes the plan under its fault model and
+// iterates). Each round assigns every deficient processor at most one
+// receive: scanning its neighbours, it joins an already-planned multicast
+// whose message it misses, or opens a new multicast from an idle neighbour
+// holding one of its missing messages. A message received in round t is
+// available for forwarding in round t+1, so each planned round advances the
+// wavefront of every under-delivered message by one hop; while some
+// processor misses a message held somewhere in a connected component, the
+// round makes progress, and planning stops early once the deficit is empty
+// or no link can supply any missing pair.
+//
+// holds is not modified. The returned schedule may be empty (zero rounds).
+func PlanRounds(g *graph.Graph, holds []*schedule.Bitset, maxRounds int) *schedule.Schedule {
+	n := g.N()
+	nmsg := 0
+	if n > 0 {
+		nmsg = holds[0].Len()
+	}
+	s := schedule.NewWithMessages(n, nmsg)
+	sim := make([]*schedule.Bitset, n)
+	for v, h := range holds {
+		sim[v] = h.Clone()
+	}
+	senderMsg := make([]int, n) // message processor u multicasts this round, -1 if idle
+	senderTo := make([][]int, n)
+	for t := 0; t < maxRounds; t++ {
+		for u := range senderMsg {
+			senderMsg[u] = -1
+			senderTo[u] = senderTo[u][:0]
+		}
+		progress := false
+		for d := 0; d < n; d++ {
+			if sim[d].Full() {
+				continue
+			}
+			for _, u := range g.Neighbors(d) {
+				var m int
+				if senderMsg[u] >= 0 {
+					// u already multicasts this round; d may only join in.
+					m = senderMsg[u]
+					if sim[d].Has(m) {
+						continue
+					}
+				} else {
+					m = sim[u].FirstAndNot(sim[d])
+					if m < 0 {
+						continue
+					}
+					senderMsg[u] = m
+				}
+				senderTo[u] = append(senderTo[u], d)
+				progress = true
+				break // one receive per processor per round
+			}
+		}
+		if !progress {
+			break
+		}
+		for u, m := range senderMsg {
+			if m < 0 {
+				continue
+			}
+			s.AddSend(t, m, u, senderTo[u]...)
+			for _, d := range senderTo[u] {
+				sim[d].Set(m)
+			}
+		}
+	}
+	return s
+}
+
+// Options configure a repair run.
+type Options struct {
+	// MaxIterations bounds the plan-execute-remeasure retry loop; zero
+	// means DefaultMaxIterations.
+	MaxIterations int
+	// RoundsPerIteration caps the rounds planned per iteration; zero means
+	// the network diameter (computed with one full BFS sweep), the distance
+	// a repair wavefront may need to travel.
+	RoundsPerIteration int
+	// Injector applies faults to the repair rounds themselves; nil runs
+	// them lossless.
+	Injector fault.Injector
+	// RoundOffset is the absolute index of the first repair round — the
+	// length of the schedule whose execution produced the deficit — so the
+	// injector sees one consistent global round numbering.
+	RoundOffset int
+	// Validate re-checks every planned iteration against the communication
+	// model (schedule.Run with the current holds as the initial state)
+	// before executing it, turning planner bugs into errors instead of
+	// silently invalid repairs.
+	Validate bool
+}
+
+// Outcome reports what a repair run achieved.
+type Outcome struct {
+	Holds      []*schedule.Bitset // final hold sets
+	Iterations int                // plan-execute iterations run
+	Rounds     int                // repair rounds executed across all iterations
+	Dropped    int                // repair deliveries lost in flight
+	Repaired   int                // (processor, message) pairs restored
+	Complete   bool               // deficit fully closed
+}
+
+// Run repairs the deficit of holds on network g: it iterates PlanRounds
+// and fault.ExecuteInjected under opts until every processor holds every
+// message, the iteration budget is exhausted, or no link can supply any
+// missing pair (a message with no holder in a component). holds is not
+// modified; the returned Outcome reports the final hold sets and the cost.
+func Run(g *graph.Graph, holds []*schedule.Bitset, opts Options) (Outcome, error) {
+	n := g.N()
+	if len(holds) != n {
+		return Outcome{}, fmt.Errorf("repair: %d hold sets for %d processors", len(holds), n)
+	}
+	cur := make([]*schedule.Bitset, n)
+	for v, h := range holds {
+		if h.Len() != holds[0].Len() {
+			return Outcome{}, fmt.Errorf("repair: hold set %d sized %d, want %d", v, h.Len(), holds[0].Len())
+		}
+		cur[v] = h.Clone()
+	}
+	out := Outcome{Holds: cur}
+	deficit := MissingPairs(cur)
+	if deficit == 0 {
+		out.Complete = true
+		return out, nil
+	}
+	initialDeficit := deficit
+	iters := opts.MaxIterations
+	if iters <= 0 {
+		iters = DefaultMaxIterations
+	}
+	cap := opts.RoundsPerIteration
+	if cap <= 0 {
+		res, err := g.Sweep(graph.SweepAll)
+		if err != nil {
+			return out, fmt.Errorf("repair: %w", err)
+		}
+		cap = res.Diameter
+		if cap < 1 {
+			cap = 1
+		}
+	}
+	offset := opts.RoundOffset
+	for it := 0; it < iters && deficit > 0; it++ {
+		plan := PlanRounds(g, cur, cap)
+		if plan.Time() == 0 {
+			break // some missing message has no reachable holder
+		}
+		if opts.Validate {
+			if _, err := schedule.Run(g, plan, schedule.Options{Initial: cur}); err != nil {
+				return out, fmt.Errorf("repair: planned rounds violate the model: %w", err)
+			}
+		}
+		next, dropped, err := fault.ExecuteInjected(g, plan, opts.Injector, cur, offset)
+		if err != nil {
+			return out, fmt.Errorf("repair: %w", err)
+		}
+		out.Iterations++
+		out.Rounds += plan.Time()
+		out.Dropped += dropped
+		offset += plan.Time()
+		cur = next
+		deficit = MissingPairs(cur)
+	}
+	out.Holds = cur
+	out.Repaired = initialDeficit - deficit
+	out.Complete = deficit == 0
+	return out, nil
+}

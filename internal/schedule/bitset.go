@@ -45,6 +45,22 @@ func (b *Bitset) Clone() *Bitset {
 	return &Bitset{words: append([]uint64(nil), b.words...), n: b.n}
 }
 
+// FirstAndNot returns the lowest index set in b and clear in o, or -1 when
+// there is none — the first message a processor holding b could supply to a
+// processor holding o. Both bitsets must have the same capacity.
+func (b *Bitset) FirstAndNot(o *Bitset) int {
+	for i, w := range b.words {
+		if x := w &^ o.words[i]; x != 0 {
+			m := i*64 + bits.TrailingZeros64(x)
+			if m < b.n {
+				return m
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
 // Missing returns the indices of unset bits, ascending.
 func (b *Bitset) Missing() []int {
 	var out []int

@@ -70,11 +70,15 @@ func NewNetwork(n int) *Network { return &Network{g: graph.New(n)} }
 func fromGraph(g *graph.Graph) *Network { return &Network{g: g} }
 
 // AddLink adds the bidirectional link {u, v}; adding it twice is a no-op.
+// AddLink is safe to call concurrently with the metric accessors (Radius,
+// Diameter, Center, Eccentricities): the graph mutation happens under the
+// same lock that guards the metric sweep, so a sweep never observes a
+// half-inserted edge.
 func (nw *Network) AddLink(u, v int) {
-	nw.g.AddEdge(u, v)
 	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.g.AddEdge(u, v)
 	nw.metrics = nil
-	nw.mu.Unlock()
 }
 
 // sweepMetrics returns the cached full-sweep metrics, computing them on
@@ -86,7 +90,10 @@ func (nw *Network) sweepMetrics() *graph.SweepResult {
 	if nw.metrics == nil {
 		res, err := nw.g.Sweep(graph.SweepAll)
 		if err != nil {
-			panic("graph: eccentricity undefined on a disconnected graph")
+			// Wrap the actual sweep error (disconnection is the documented
+			// case, but not the only possible one) so failures are not
+			// mislabeled.
+			panic(fmt.Errorf("multigossip: network metrics: %w", err))
 		}
 		nw.metrics = res
 	}

@@ -3,6 +3,7 @@ package multigossip
 import (
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -260,12 +261,119 @@ func TestGossipStreamSummary(t *testing.T) {
 	if exact.Deliveries != 400*399 {
 		t.Fatalf("deliveries %d", exact.Deliveries)
 	}
-	if !exact.ExactTree || approx.ExactTree {
-		t.Fatal("ExactTree flags wrong")
+	// On a tree network the double-sweep certificate applies, so the
+	// approximate summary also proves its tree exact.
+	if !exact.ExactTree || !approx.ExactTree {
+		t.Fatalf("ExactTree flags wrong: exact=%v approx=%v", exact.ExactTree, approx.ExactTree)
 	}
 	if _, err := NewNetwork(2).GossipStreamSummary(true); err == nil {
 		t.Fatal("accepted disconnected network")
 	}
+}
+
+// TestStreamSummaryExactTreeAgainstMetrics: with the metric sweep cached,
+// ExactTree must equal the actual height-vs-radius comparison — an approx
+// tree that happens to be exact reports true, one that is not reports
+// false — on a spread of non-tree networks.
+func TestStreamSummaryExactTreeAgainstMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	nets := []*Network{
+		Ring(31),
+		Mesh(5, 7),
+		PetersenGraph(),
+		RandomNetwork(rng, 60, 0.08),
+		SensorField(rng, 60, 0.35),
+	}
+	for i, nw := range nets {
+		radius := nw.Radius() // caches the metric sweep
+		sum, err := nw.GossipStreamSummary(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := sum.TreeHeight == radius; sum.ExactTree != want {
+			t.Fatalf("network %d: ExactTree=%v, but height=%d radius=%d",
+				i, sum.ExactTree, sum.TreeHeight, radius)
+		}
+	}
+}
+
+// TestStreamSummaryExactTreeLowerBoundProof: without cached metrics the
+// proof falls back to the double-sweep radius lower bound. On a line the
+// bound is tight (radius = ceil(diameter/2)), so the approximate tree is
+// recognised as exact without ever paying for a full sweep; on a ring
+// (radius = diameter) the cheap certificate cannot apply, so the flag
+// conservatively stays false until the metric sweep is cached.
+func TestStreamSummaryExactTreeLowerBoundProof(t *testing.T) {
+	sum, err := Line(64).GossipStreamSummary(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TreeHeight != 32 || !sum.ExactTree {
+		t.Fatalf("line approx tree height=%d exact=%v, want 32/true", sum.TreeHeight, sum.ExactTree)
+	}
+	ring := Ring(64)
+	unproven, err := ring.GossipStreamSummary(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unproven.ExactTree {
+		t.Fatal("ring exactness should not be provable by the double-sweep bound alone")
+	}
+	ring.Radius() // cache the metric sweep: now the comparison is exact
+	proven, err := ring.GossipStreamSummary(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proven.ExactTree {
+		t.Fatalf("ring approx tree height=%d not recognised as exact against cached radius %d",
+			proven.TreeHeight, ring.Radius())
+	}
+}
+
+// TestConcurrentAddLinkAndMetrics is the -race regression test for the
+// AddLink data race: the graph mutation must happen under the same lock
+// that guards the metric sweep, so concurrent AddLink and
+// Radius/Diameter/Center/Eccentricities calls are safe.
+func TestConcurrentAddLinkAndMetrics(t *testing.T) {
+	nw := Ring(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				u := (i*13 + w*17) % 64
+				v := (u + 2 + i%31) % 64
+				if u != v {
+					nw.AddLink(u, v)
+				}
+			}
+		}(w)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				switch (i + w) % 4 {
+				case 0:
+					if r := nw.Radius(); r < 1 || r > 32 {
+						t.Errorf("radius %d out of range", r)
+					}
+				case 1:
+					if d := nw.Diameter(); d < 1 || d > 32 {
+						t.Errorf("diameter %d out of range", d)
+					}
+				case 2:
+					if len(nw.Center()) == 0 {
+						t.Error("empty center")
+					}
+				default:
+					if len(nw.Eccentricities()) != 64 {
+						t.Error("eccentricities wrong length")
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 func TestLoadNetworkRoundTrip(t *testing.T) {
