@@ -6,12 +6,21 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke fault-smoke bench sweep-record fault-record experiments
+.PHONY: check vet staticcheck build test race bench-smoke fault-smoke fuzz-smoke bench sweep-record fault-record experiments
 
-check: vet build race bench-smoke fault-smoke
+check: vet staticcheck build race bench-smoke fault-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. Skipped gracefully where the binary is not
+# installed (CI installs it; see .github/workflows/ci.yml).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -31,6 +40,12 @@ bench-smoke:
 # and require the record machinery to work, without paying full bench time.
 fault-smoke:
 	$(GO) run ./cmd/faultbench -sizes 64 -rates 0.01 -trials 1 -out /dev/null
+
+# Ten seconds of coverage-guided fuzzing of the repair planner's
+# model-safety invariant: every emitted schedule must replay cleanly under
+# schedule.Run from the hold-state it was planned for.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzPlanRounds -fuzztime=10s ./internal/repair
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .

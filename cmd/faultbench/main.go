@@ -49,12 +49,36 @@ type record struct {
 	AllComplete          bool    `json:"all_complete"`
 }
 
+// permRecord is one deterministic permanent-fault scenario: a dead link, a
+// full isolation, or a crash-stop processor, recovered by the adaptive
+// survivor-graph engine. Reachable coverage 1.0 with stalled false means
+// the recovery degraded gracefully: every pair the surviving topology
+// could still deliver was delivered.
+type permRecord struct {
+	Topology          string   `json:"topology"`
+	N                 int      `json:"n"`
+	Scenario          string   `json:"scenario"`
+	Faults            string   `json:"faults"`
+	RepairBudget      int      `json:"repair_budget"`
+	CoverageRaw       float64  `json:"coverage_before_repair"`
+	FinalCoverage     float64  `json:"final_coverage"`
+	ReachableCoverage float64  `json:"reachable_coverage"`
+	UnreachablePairs  int      `json:"unreachable_pairs"`
+	QuarantinedLinks  [][2]int `json:"quarantined_links"`
+	DownProcessors    []int    `json:"down_processors"`
+	Components        int      `json:"components"`
+	RepairIterations  int      `json:"repair_iterations"`
+	RepairRounds      int      `json:"repair_rounds"`
+	Stalled           bool     `json:"stalled"`
+}
+
 type report struct {
-	Tool       string   `json:"tool"`
-	Benchmark  string   `json:"benchmark"`
-	GoMaxProcs int      `json:"gomaxprocs"`
-	GoVersion  string   `json:"go_version"`
-	Cases      []record `json:"cases"`
+	Tool            string       `json:"tool"`
+	Benchmark       string       `json:"benchmark"`
+	GoMaxProcs      int          `json:"gomaxprocs"`
+	GoVersion       string       `json:"go_version"`
+	Cases           []record     `json:"cases"`
+	PermanentFaults []permRecord `json:"permanent_faults"`
 }
 
 func buildNetwork(kind string, n int) *multigossip.Network {
@@ -128,6 +152,83 @@ func measure(kind string, n int, rates []float64, trials, budget int) ([]record,
 	return out, nil
 }
 
+// measurePermanent runs the deterministic permanent-fault matrix on one
+// topology instance: a single dead link of processor 0, every link of
+// processor 0 dead (isolating it — observationally a crash, which is how
+// the suspicion tracker attributes it), and a crash-stop of processor 0
+// before round 0.
+func measurePermanent(kind string, n, budget int) ([]permRecord, error) {
+	nw := buildNetwork(kind, n)
+	plan, err := nw.PlanGossip()
+	if err != nil {
+		return nil, err
+	}
+	procs := nw.Processors()
+	var neigh []int // processor 0's neighbours, by link probing
+	for v := 1; v < procs; v++ {
+		if nw.HasLink(0, v) {
+			neigh = append(neigh, v)
+		}
+	}
+	type scenario struct {
+		name, faults string
+		opts         []multigossip.FaultOption
+	}
+	scens := []scenario{
+		{
+			name:   "dead-link",
+			faults: fmt.Sprintf("link (0,%d) permanently dead", neigh[0]),
+			opts:   []multigossip.FaultOption{multigossip.WithDeadLink(0, neigh[0])},
+		},
+		{
+			name:   "crash-stop",
+			faults: "processor 0 crash-stopped before round 0",
+			opts:   []multigossip.FaultOption{multigossip.WithCrashStop(0, 0)},
+		},
+	}
+	isolate := scenario{
+		name:   "dead-links-isolate",
+		faults: fmt.Sprintf("all %d links of processor 0 permanently dead", len(neigh)),
+	}
+	for _, v := range neigh {
+		isolate.opts = append(isolate.opts, multigossip.WithDeadLink(0, v))
+	}
+	scens = append(scens, isolate)
+	var out []permRecord
+	for _, sc := range scens {
+		opts := append([]multigossip.FaultOption{multigossip.WithRepairBudget(budget)}, sc.opts...)
+		rep, err := plan.ExecuteWithFaults(opts...)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", sc.name, err)
+		}
+		rec := permRecord{
+			Topology:          kind,
+			N:                 procs,
+			Scenario:          sc.name,
+			Faults:            sc.faults,
+			RepairBudget:      budget,
+			CoverageRaw:       rep.Coverage,
+			FinalCoverage:     rep.FinalCoverage,
+			ReachableCoverage: rep.ReachableCoverage,
+			UnreachablePairs:  len(rep.Unreachable),
+			QuarantinedLinks:  make([][2]int, 0, len(rep.QuarantinedLinks)),
+			DownProcessors:    rep.DownProcessors,
+			Components:        rep.Components,
+			RepairIterations:  rep.RepairIterations,
+			RepairRounds:      rep.RepairRounds,
+			Stalled:           rep.Stalled,
+		}
+		if rec.DownProcessors == nil {
+			rec.DownProcessors = []int{}
+		}
+		for _, l := range rep.QuarantinedLinks {
+			rec.QuarantinedLinks = append(rec.QuarantinedLinks, [2]int{l.U, l.V})
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
 func parseList[T any](s string, parse func(string) (T, error)) ([]T, error) {
 	var out []T
 	for _, f := range strings.Split(s, ",") {
@@ -187,6 +288,25 @@ func main() {
 				fmt.Printf("%-8s %6d %8.4f %9.5f %9.5f %8.1f %9.1f %7.1f %8.4f\n",
 					r.Topology, r.N, r.LossRate, r.MeanCoverageRaw, r.MeanCoverageRepaired,
 					r.MeanDropped, r.MeanRepairRounds, r.MeanRepairIterations, r.RepairOverhead)
+			}
+		}
+	}
+
+	fmt.Printf("\n%-8s %6s %-18s %9s %9s %9s %7s %6s %6s %7s\n",
+		"topology", "n", "scenario", "raw cov", "final", "reach", "unreach", "quar", "comps", "stalled")
+	for _, kind := range []string{"ring", "grid", "random"} {
+		for _, n := range ns {
+			recs, err := measurePermanent(kind, n, *budget)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "faultbench: %s n=%d: %v\n", kind, n, err)
+				os.Exit(1)
+			}
+			for _, r := range recs {
+				rep.PermanentFaults = append(rep.PermanentFaults, r)
+				fmt.Printf("%-8s %6d %-18s %9.5f %9.5f %9.5f %7d %6d %6d %7v\n",
+					r.Topology, r.N, r.Scenario, r.CoverageRaw, r.FinalCoverage,
+					r.ReachableCoverage, r.UnreachablePairs,
+					len(r.QuarantinedLinks)+len(r.DownProcessors), r.Components, r.Stalled)
 			}
 		}
 	}

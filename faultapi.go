@@ -35,12 +35,50 @@ type FaultReport struct {
 	// Complete reports whether every processor holds every message at the
 	// end.
 	Complete bool
+
+	// ReachableCoverage is the fraction of reachable pairs held at the
+	// end: a missing pair counts as reachable when its message still has a
+	// holder in the destination's component of the survivor network (the
+	// network minus quarantined links and down processors). 1.0 means the
+	// execution is complete up to reachability — under a partition that is
+	// the best any recovery can achieve. With repair disabled it equals
+	// Coverage.
+	ReachableCoverage float64
+	// Unreachable lists the missing pairs beyond the reachable ceiling,
+	// ordered by (Processor, Message). Empty unless a permanent fault
+	// partitioned the survivor network.
+	Unreachable []Pair
+	// QuarantinedLinks and DownProcessors are the permanent faults the
+	// repair engine diagnosed and amputated from the survivor network,
+	// ordered. Both are empty with repair disabled.
+	QuarantinedLinks []Link
+	DownProcessors   []int
+	// Components is the number of connected components of the final
+	// survivor network (a down processor is its own singleton); values
+	// above 1 mean the execution degraded gracefully under partition.
+	// Zero when repair is disabled.
+	Components int
+	// Stalled reports that repair gave up early: iterations stopped making
+	// progress on reachable pairs with nothing left to quarantine.
+	Stalled bool
+}
+
+// Pair is one (processor, message) pair of the gossip problem: Processor
+// should learn Message.
+type Pair struct {
+	Processor, Message int
+}
+
+// Link is an undirected network link between processors U and V.
+type Link struct {
+	U, V int
 }
 
 type faultConfig struct {
 	injectors  fault.Compose
 	repair     bool
 	maxIters   int
+	quarantine int
 	validation error
 }
 
@@ -93,6 +131,59 @@ func WithCrashWindow(proc, from, to int) FaultOption {
 	}
 }
 
+// WithCrashStop crashes processor proc permanently from round from on: it
+// neither sends nor receives from that round forward and never rejoins —
+// the classic crash-stop model. The repair engine detects the silence,
+// quarantines the processor out of the survivor network, and completes the
+// gossip for the live partition; the report's DownProcessors, Unreachable
+// and ReachableCoverage describe the degradation.
+func WithCrashStop(proc, from int) FaultOption {
+	return func(c *faultConfig) {
+		if proc < 0 {
+			c.validation = fmt.Errorf("multigossip: negative crash processor %d", proc)
+			return
+		}
+		if from < 0 {
+			c.validation = fmt.Errorf("multigossip: negative crash round %d", from)
+			return
+		}
+		c.injectors = append(c.injectors, fault.CrashStop(proc, from))
+	}
+}
+
+// WithDeadLink severs the network link between processors u and v
+// permanently: every delivery across it, in either direction and in both
+// the scheduled and the repair rounds, is lost. The repair engine
+// quarantines the link after repeated failures and replans over the
+// surviving topology, routing around it when the network remains connected
+// and degrading to the reachable ceiling when it does not. The link must
+// exist in the plan's network.
+func WithDeadLink(u, v int) FaultOption {
+	return func(c *faultConfig) {
+		if u < 0 || v < 0 || u == v {
+			c.validation = fmt.Errorf("multigossip: bad dead link (%d, %d)", u, v)
+			return
+		}
+		c.injectors = append(c.injectors, fault.DeadLink{U: u, V: v})
+	}
+}
+
+// WithQuarantineThreshold sets how many consecutive failed repair
+// iterations a link or processor survives before the repair engine
+// quarantines it as permanently faulty (default
+// repair.DefaultQuarantineThreshold). Lower values amputate faster but
+// risk quarantining a merely lossy link; higher values tolerate longer
+// fault bursts at the cost of more wasted iterations.
+func WithQuarantineThreshold(k int) FaultOption {
+	return func(c *faultConfig) {
+		if k < 1 {
+			c.validation = fmt.Errorf("multigossip: quarantine threshold %d < 1", k)
+			return
+		}
+		c.quarantine = k
+	}
+}
+
 // WithoutRepair disables the repair engine: the report describes the raw
 // degradation of the schedule under the injected faults.
 func WithoutRepair() FaultOption {
@@ -113,16 +204,25 @@ func WithRepairBudget(iters int) FaultOption {
 }
 
 // ExecuteWithFaults replays the plan under injected faults — explicit
-// delivery drops, Bernoulli link loss, processor crash windows — with full
-// fault propagation: a processor that never received a message silently
-// skips its scheduled relays of it. It then runs the self-healing loop:
-// compute the residual deficit (which processors miss which messages),
-// greedily synthesize repair rounds that respect the communication model
-// over any network link (one multicast per sender and at most one receive
-// per processor per round), execute them under the same fault model, and
-// iterate while messages are still missing, up to the repair budget. Every
-// synthesized repair batch is re-validated against the model rules before
-// it runs.
+// delivery drops, Bernoulli link loss, processor crash windows, permanent
+// dead links and crash-stop processors — with full fault propagation: a
+// processor that never received a message silently skips its scheduled
+// relays of it. It then runs the self-healing loop: compute the residual
+// deficit (which processors miss which messages), greedily synthesize
+// repair rounds that respect the communication model over any network link
+// (one multicast per sender and at most one receive per processor per
+// round), execute them under the same fault model, and iterate while
+// messages are still missing, up to the repair budget. Every synthesized
+// repair batch is re-validated against the model rules before it runs.
+//
+// Transient faults are ridden out by retrying. Permanent faults are
+// detected by suspicion tracking — consecutive failed delivery attempts
+// per link and per processor — and quarantined (see
+// WithQuarantineThreshold), after which repair replans over the survivor
+// network. When quarantine partitions the network, the loop terminates
+// once every still-reachable pair is delivered and the report records the
+// degradation: ReachableCoverage, Unreachable, QuarantinedLinks,
+// DownProcessors and Components.
 //
 // The returned report gives coverage before and after repair, the
 // dropped and repaired delivery counts, and the rounds spent. With no
@@ -144,8 +244,18 @@ func (p *Plan) ExecuteWithFaults(opts ...FaultOption) (FaultReport, error) {
 	}
 	s := p.result.Schedule
 	for _, c := range cfg.injectors {
-		if cw, ok := c.(fault.CrashWindow); ok && cw.Proc >= s.N {
-			return FaultReport{}, fmt.Errorf("multigossip: crash processor %d out of range [0,%d)", cw.Proc, s.N)
+		switch f := c.(type) {
+		case fault.CrashWindow:
+			if f.Proc >= s.N {
+				return FaultReport{}, fmt.Errorf("multigossip: crash processor %d out of range [0,%d)", f.Proc, s.N)
+			}
+		case fault.DeadLink:
+			if f.U >= s.N || f.V >= s.N {
+				return FaultReport{}, fmt.Errorf("multigossip: dead link (%d, %d) out of range [0,%d)", f.U, f.V, s.N)
+			}
+			if !p.network.HasEdge(f.U, f.V) {
+				return FaultReport{}, fmt.Errorf("multigossip: dead link (%d, %d) is not a network link", f.U, f.V)
+			}
 		}
 	}
 	holds, dropped, err := fault.ExecuteInjected(p.network, s, inj, nil, 0)
@@ -159,15 +269,17 @@ func (p *Plan) ExecuteWithFaults(opts ...FaultOption) (FaultReport, error) {
 	}
 	if !cfg.repair {
 		rep.FinalCoverage = rep.Coverage
+		rep.ReachableCoverage = rep.Coverage
 		rep.TotalRounds = rep.ScheduleRounds
 		rep.Complete = repair.MissingPairs(holds) == 0
 		return rep, nil
 	}
 	out, err := repair.Run(p.network, holds, repair.Options{
-		MaxIterations: cfg.maxIters,
-		Injector:      inj,
-		RoundOffset:   s.Time(),
-		Validate:      true,
+		MaxIterations:       cfg.maxIters,
+		Injector:            inj,
+		RoundOffset:         s.Time(),
+		Validate:            true,
+		QuarantineThreshold: cfg.quarantine,
 	})
 	if err != nil {
 		return FaultReport{}, err
@@ -179,5 +291,15 @@ func (p *Plan) ExecuteWithFaults(opts ...FaultOption) (FaultReport, error) {
 	rep.TotalRounds = rep.ScheduleRounds + out.Rounds
 	rep.FinalCoverage = fault.Coverage(out.Holds)
 	rep.Complete = out.Complete
+	rep.ReachableCoverage = out.ReachableCoverage
+	for _, pr := range out.Unreachable {
+		rep.Unreachable = append(rep.Unreachable, Pair{Processor: pr.Processor, Message: pr.Message})
+	}
+	for _, e := range out.QuarantinedLinks {
+		rep.QuarantinedLinks = append(rep.QuarantinedLinks, Link{U: e.U, V: e.V})
+	}
+	rep.DownProcessors = out.DownProcessors
+	rep.Components = out.Components
+	rep.Stalled = out.Stalled
 	return rep, nil
 }

@@ -3,6 +3,9 @@ package multigossip
 import (
 	"math/rand"
 	"testing"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/repair"
 )
 
 // namedNetworks returns a small instance of every named topology
@@ -189,5 +192,211 @@ func TestExecuteWithFaultsRejectsBadOptions(t *testing.T) {
 	}
 	if _, err := plan.ExecuteWithFaults(WithCrashWindow(8, 0, 5)); err == nil {
 		t.Fatal("out-of-range crash processor accepted")
+	}
+}
+
+// TestExecuteWithFaultsCrashStop is the crash-stop acceptance property:
+// for every processor v of every named topology, crash-stopping v before
+// round 0 makes the recovery quarantine exactly v, finish for the live
+// partition within three iterations of the quarantine, and report coverage
+// 1.0 over the reachable ceiling. When the network minus v stays connected
+// the unreachable set is exactly v's 2(n-1) cross pairs, so FinalCoverage
+// is (n^2-2(n-1))/n^2 exactly.
+func TestExecuteWithFaultsCrashStop(t *testing.T) {
+	for name, nw := range namedNetworks() {
+		plan, err := nw.PlanGossip()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := nw.Processors()
+		for v := 0; v < n; v++ {
+			rep, err := plan.ExecuteWithFaults(WithCrashStop(v, 0))
+			if err != nil {
+				t.Fatalf("%s crash %d: %v", name, v, err)
+			}
+			if rep.Stalled {
+				t.Fatalf("%s crash %d: recovery stalled: %+v", name, v, rep)
+			}
+			if len(rep.DownProcessors) != 1 || rep.DownProcessors[0] != v {
+				t.Fatalf("%s crash %d: DownProcessors %v, want [%d]", name, v, rep.DownProcessors, v)
+			}
+			if len(rep.QuarantinedLinks) != 0 {
+				t.Fatalf("%s crash %d: crash misattributed to links %v", name, v, rep.QuarantinedLinks)
+			}
+			if rep.ReachableCoverage != 1.0 {
+				t.Fatalf("%s crash %d: ReachableCoverage %v, want exactly 1.0", name, v, rep.ReachableCoverage)
+			}
+			if rep.Complete {
+				t.Fatalf("%s crash %d: claimed full completion despite a dead processor", name, v)
+			}
+			if rep.RepairIterations > repair.DefaultQuarantineThreshold+3 {
+				t.Fatalf("%s crash %d: %d repair iterations, want <= %d",
+					name, v, rep.RepairIterations, repair.DefaultQuarantineThreshold+3)
+			}
+			// Does removing v leave the survivors connected?
+			rest := graph.New(n)
+			for _, e := range nw.g.Edges() {
+				if e.U != v && e.V != v {
+					rest.AddEdge(e.U, e.V)
+				}
+			}
+			liveComps := 0
+			for _, c := range rest.Components() {
+				if len(c) > 1 || c[0] != v {
+					liveComps++
+				}
+			}
+			if liveComps != 1 {
+				continue
+			}
+			if rep.Components != 2 {
+				t.Fatalf("%s crash %d: %d survivor components, want 2", name, v, rep.Components)
+			}
+			if len(rep.Unreachable) != 2*(n-1) {
+				t.Fatalf("%s crash %d: %d unreachable pairs, want %d",
+					name, v, len(rep.Unreachable), 2*(n-1))
+			}
+			for _, pr := range rep.Unreachable {
+				if pr.Processor != v && pr.Message != v {
+					t.Fatalf("%s crash %d: pair %v unreachable without involving the crash", name, v, pr)
+				}
+			}
+			want := float64(n*n-2*(n-1)) / float64(n*n)
+			if rep.FinalCoverage != want {
+				t.Fatalf("%s crash %d: FinalCoverage %v, want exactly %v", name, v, rep.FinalCoverage, want)
+			}
+		}
+	}
+}
+
+// TestExecuteWithFaultsDeadLinkRing: a dead link on a ring is not a cut
+// edge, so recovery quarantines it and routes the deficit the long way
+// around to full completion.
+func TestExecuteWithFaultsDeadLinkRing(t *testing.T) {
+	plan, err := Ring(9).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := plan.ExecuteWithFaults(WithDeadLink(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete || rep.FinalCoverage != 1 || rep.ReachableCoverage != 1 {
+		t.Fatalf("dead ring link not routed around: %+v", rep)
+	}
+	if len(rep.DownProcessors) != 0 {
+		t.Fatalf("dead link misattributed to processors %v", rep.DownProcessors)
+	}
+	if rep.Stalled {
+		t.Fatalf("recovery stalled: %+v", rep)
+	}
+}
+
+// TestExecuteWithFaultsDeadLinkPartition: severing the only bridge of a
+// line degrades gracefully — both sides finish internally, the bridge is
+// quarantined, and the report names exactly the cross-partition pairs.
+func TestExecuteWithFaultsDeadLinkPartition(t *testing.T) {
+	const n = 7
+	plan, err := Line(n).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := plan.ExecuteWithFaults(WithDeadLink(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete || rep.Stalled {
+		t.Fatalf("partitioned run reported Complete=%v Stalled=%v", rep.Complete, rep.Stalled)
+	}
+	if len(rep.QuarantinedLinks) != 1 || rep.QuarantinedLinks[0] != (Link{U: 3, V: 4}) {
+		t.Fatalf("quarantined %v, want exactly [{3 4}]", rep.QuarantinedLinks)
+	}
+	if rep.Components != 2 {
+		t.Fatalf("%d survivor components, want 2", rep.Components)
+	}
+	if rep.ReachableCoverage != 1.0 {
+		t.Fatalf("ReachableCoverage %v, want 1.0", rep.ReachableCoverage)
+	}
+	if want := 2 * 4 * 3; len(rep.Unreachable) != want {
+		t.Fatalf("%d unreachable pairs, want %d", len(rep.Unreachable), want)
+	}
+	for _, pr := range rep.Unreachable {
+		left := pr.Processor <= 3
+		msgLeft := pr.Message <= 3
+		if left == msgLeft {
+			t.Fatalf("pair %v reported unreachable but crosses no partition", pr)
+		}
+	}
+}
+
+// TestExecuteWithFaultsQuarantineThreshold: threshold 1 amputates the dead
+// link after a single failed iteration, so recovery is strictly faster
+// than at the default threshold.
+func TestExecuteWithFaultsQuarantineThreshold(t *testing.T) {
+	plan, err := Ring(9).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := plan.ExecuteWithFaults(WithDeadLink(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := plan.ExecuteWithFaults(WithDeadLink(0, 1), WithQuarantineThreshold(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.Complete {
+		t.Fatalf("threshold 1 did not complete: %+v", fast)
+	}
+	if fast.RepairIterations >= slow.RepairIterations {
+		t.Fatalf("threshold 1 took %d iterations, default took %d — no speedup",
+			fast.RepairIterations, slow.RepairIterations)
+	}
+}
+
+// TestExecuteWithFaultsWithoutRepairReachable: with repair disabled the
+// survivor machinery never runs, and ReachableCoverage mirrors Coverage.
+func TestExecuteWithFaultsWithoutRepairReachable(t *testing.T) {
+	plan, err := Line(7).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := plan.ExecuteWithFaults(WithDeadLink(3, 4), WithoutRepair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReachableCoverage != rep.Coverage {
+		t.Fatalf("ReachableCoverage %v != Coverage %v with repair disabled",
+			rep.ReachableCoverage, rep.Coverage)
+	}
+	if len(rep.QuarantinedLinks) != 0 || len(rep.DownProcessors) != 0 || rep.Components != 0 {
+		t.Fatalf("repair-disabled report shows survivor state: %+v", rep)
+	}
+}
+
+func TestExecuteWithFaultsRejectsBadPermanentFaults(t *testing.T) {
+	plan, err := Ring(8).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opt := range map[string]FaultOption{
+		"negative dead link":   WithDeadLink(-1, 2),
+		"self-loop dead link":  WithDeadLink(3, 3),
+		"negative crash-stop":  WithCrashStop(-1, 0),
+		"negative crash round": WithCrashStop(0, -1),
+		"zero quarantine":      WithQuarantineThreshold(0),
+	} {
+		if _, err := plan.ExecuteWithFaults(opt); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	if _, err := plan.ExecuteWithFaults(WithDeadLink(0, 8)); err == nil {
+		t.Fatal("out-of-range dead link accepted")
+	}
+	if _, err := plan.ExecuteWithFaults(WithDeadLink(0, 4)); err == nil {
+		t.Fatal("dead link on a non-link accepted")
+	}
+	if _, err := plan.ExecuteWithFaults(WithCrashStop(8, 0)); err == nil {
+		t.Fatal("out-of-range crash-stop accepted")
 	}
 }

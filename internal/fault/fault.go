@@ -10,16 +10,21 @@
 //
 // Faults are described by Injectors — deterministic models deciding which
 // deliveries are lost in flight and which processors are crashed in which
-// rounds. Three models are provided: DropSet (an explicit per-delivery drop
+// rounds. Four models are provided: DropSet (an explicit per-delivery drop
 // map), LinkLoss (i.i.d. Bernoulli loss per delivery, decided by a seeded
-// hash so the same delivery always meets the same fate), and CrashWindow
-// (a fail-silent processor outage over a round interval). Package repair
-// consumes the hold sets this package produces and synthesizes the rounds
-// that close the residual deficit.
+// hash so the same delivery always meets the same fate), CrashWindow (a
+// fail-silent processor outage over a round interval, open-ended via
+// CrashStop), and DeadLink (a permanently severed link). The first two are
+// transient — retrying eventually succeeds; the last two, when unbounded,
+// are permanent and must be handled as topology changes, which package
+// repair does by quarantining them and replanning over the survivor
+// subgraph. Package repair consumes the hold sets this package produces
+// and synthesizes the rounds that close the residual deficit.
 package fault
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"multigossip/internal/graph"
@@ -104,7 +109,8 @@ func mix64(x uint64) uint64 {
 
 // CrashWindow is a fail-silent processor outage: Proc neither sends nor
 // receives during rounds From <= t < To, keeps the messages it already
-// held, and rejoins afterwards.
+// held, and rejoins afterwards. A window ending at Forever never closes —
+// the crash-stop model (see CrashStop).
 type CrashWindow struct {
 	Proc, From, To int
 }
@@ -114,6 +120,35 @@ func (CrashWindow) Drop(int, int, int, int, int) bool { return false }
 
 // Down implements Injector.
 func (c CrashWindow) Down(t, p int) bool { return p == c.Proc && t >= c.From && t < c.To }
+
+// Forever is the open upper bound of a CrashWindow: a window reaching it
+// never closes, turning the transient outage into a permanent fault.
+const Forever = math.MaxInt
+
+// CrashStop returns the crash-stop fault model: processor proc fails
+// silently at round from and never rejoins. Unlike a bounded CrashWindow,
+// no retry budget can out-wait it — recovery must treat the processor as
+// removed from the topology (package repair quarantines it).
+func CrashStop(proc, from int) CrashWindow {
+	return CrashWindow{Proc: proc, From: from, To: Forever}
+}
+
+// DeadLink is a permanent bidirectional link failure: every delivery
+// crossing the link {U, V}, in either direction and in every round
+// (scheduled and repair alike), is lost in flight. Unlike LinkLoss, no
+// retry can succeed — recovery must route around the link (package repair
+// quarantines it after repeated failures).
+type DeadLink struct {
+	U, V int
+}
+
+// Drop implements Injector.
+func (l DeadLink) Drop(_, _, from, to, _ int) bool {
+	return (from == l.U && to == l.V) || (from == l.V && to == l.U)
+}
+
+// Down implements Injector.
+func (DeadLink) Down(int, int) bool { return false }
 
 // Compose unions fault models: a delivery is dropped, or a processor down,
 // when any component model says so.
@@ -139,6 +174,36 @@ func (cs Compose) Down(t, p int) bool {
 	return false
 }
 
+// DeliveryOutcome classifies what happened to one scheduled delivery, as
+// reported to an Observer.
+type DeliveryOutcome uint8
+
+const (
+	// Delivered: the message arrived and was absorbed into the hold set.
+	Delivered DeliveryOutcome = iota
+	// LostInFlight: the injector dropped the delivery on the link.
+	LostInFlight
+	// ReceiverDown: the transmission was sent but the receiver was crashed.
+	ReceiverDown
+	// SenderDown: the whole transmission was skipped because the sender was
+	// crashed; nothing entered the link.
+	SenderDown
+	// SenderMissing: the transmission was skipped because the sender never
+	// received the message (upstream fault propagation); nothing entered
+	// the link, and the failure is not attributable to it.
+	SenderMissing
+	// Superseded: the message arrived but the receiver had already accepted
+	// another delivery this round (possible only downstream of faults or in
+	// hand-built schedules); the later arrival is discarded.
+	Superseded
+)
+
+// Observer receives the fate of every scheduled delivery during an observed
+// execution: the absolute round, the endpoints, the message, and the
+// outcome. Package repair uses it to attribute repeated failures to links
+// and processors (suspicion) without peeking inside the injector.
+type Observer func(absRound, from, to, msg int, outcome DeliveryOutcome)
+
 // ExecuteInjected is the general lenient executor. Scheduled transmissions
 // of messages the sender does not hold — or whose sender is crashed — are
 // skipped (the fault has propagated), deliveries the injector drops or
@@ -156,6 +221,14 @@ func (cs Compose) Down(t, p int) bool {
 // flight (skipped transmissions send nothing, so their deliveries are not
 // counted as drops).
 func ExecuteInjected(g *graph.Graph, s *schedule.Schedule, inj Injector, initial []*schedule.Bitset, roundOffset int) (holds []*schedule.Bitset, dropped int, err error) {
+	return ExecuteObserved(g, s, inj, initial, roundOffset, nil)
+}
+
+// ExecuteObserved is ExecuteInjected with a per-delivery Observer: obs (if
+// non-nil) is called once for every destination of every scheduled
+// transmission with the outcome of that delivery. Execution semantics and
+// return values are identical to ExecuteInjected.
+func ExecuteObserved(g *graph.Graph, s *schedule.Schedule, inj Injector, initial []*schedule.Bitset, roundOffset int, obs Observer) (holds []*schedule.Bitset, dropped int, err error) {
 	if g.N() != s.N {
 		return nil, 0, fmt.Errorf("fault: graph has %d processors, schedule %d", g.N(), s.N)
 	}
@@ -190,21 +263,49 @@ func ExecuteInjected(g *graph.Graph, s *schedule.Schedule, inj Injector, initial
 		var arriving []delivery
 		for txIdx, tx := range round {
 			if inj != nil && inj.Down(abs, tx.From) {
+				if obs != nil {
+					for _, d := range tx.To {
+						obs(abs, tx.From, d, tx.Msg, SenderDown)
+					}
+				}
 				continue // crashed sender: nothing leaves it
 			}
 			if !holds[tx.From].Has(tx.Msg) {
+				if obs != nil {
+					for _, d := range tx.To {
+						obs(abs, tx.From, d, tx.Msg, SenderMissing)
+					}
+				}
 				continue // fault propagation: nothing to send
 			}
 			for _, d := range tx.To {
-				if inj != nil && (inj.Drop(abs, txIdx, tx.From, d, tx.Msg) || inj.Down(abs, d)) {
-					dropped++
-					continue
+				if inj != nil {
+					if inj.Drop(abs, txIdx, tx.From, d, tx.Msg) {
+						dropped++
+						if obs != nil {
+							obs(abs, tx.From, d, tx.Msg, LostInFlight)
+						}
+						continue
+					}
+					if inj.Down(abs, d) {
+						dropped++
+						if obs != nil {
+							obs(abs, tx.From, d, tx.Msg, ReceiverDown)
+						}
+						continue
+					}
 				}
 				if received[d] == t {
+					if obs != nil {
+						obs(abs, tx.From, d, tx.Msg, Superseded)
+					}
 					continue // conflict after upstream faults: discard
 				}
 				received[d] = t
 				arriving = append(arriving, delivery{tx.Msg, d})
+				if obs != nil {
+					obs(abs, tx.From, d, tx.Msg, Delivered)
+				}
 			}
 		}
 		for _, a := range arriving {

@@ -292,6 +292,147 @@ func TestCrashWindow(t *testing.T) {
 	}
 }
 
+// TestDeadLink: a dead link loses every delivery crossing it, in both
+// directions and in every round, while the rest of the network is
+// untouched.
+func TestDeadLink(t *testing.T) {
+	inj := DeadLink{U: 1, V: 2}
+	for _, round := range []int{0, 1, 17, 1 << 20} {
+		if !inj.Drop(round, 0, 1, 2, 5) || !inj.Drop(round, 3, 2, 1, 9) {
+			t.Fatalf("round %d: dead link delivered", round)
+		}
+	}
+	if inj.Drop(0, 0, 0, 1, 5) || inj.Drop(0, 0, 2, 0, 5) {
+		t.Fatal("dead link dropped a delivery on a live link")
+	}
+	if inj.Down(0, 1) || inj.Down(0, 2) {
+		t.Fatal("dead link crashed a processor")
+	}
+
+	// End to end: on a path 0-1-2, killing link 1-2 makes processor 2
+	// unreachable; every retry of the same delivery in later rounds fails.
+	g := graph.Path(3)
+	s := schedule.New(3)
+	s.AddSend(0, 1, 1, 2) // t=0: 1 -> {2} : m1 — dropped (dead link)
+	s.AddSend(1, 1, 1, 2) // t=1: retry — dropped again
+	s.AddSend(2, 1, 1, 0) // t=2: 1 -> {0} : m1 — live link, delivered
+	holds, dropped, err := ExecuteInjected(g, s, inj, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds[2].Has(1) {
+		t.Fatal("delivery crossed a dead link")
+	}
+	if !holds[0].Has(1) {
+		t.Fatal("dead link 1-2 blocked live link 0-1")
+	}
+	if dropped != 2 {
+		t.Fatalf("dropped %d, want 2 (both retries over the dead link)", dropped)
+	}
+}
+
+// TestCrashStop: the open-ended window never closes, however large the
+// absolute round gets (repair offsets push rounds far past the schedule).
+func TestCrashStop(t *testing.T) {
+	inj := CrashStop(3, 2)
+	if inj.Down(0, 3) || inj.Down(1, 3) {
+		t.Fatal("crash-stop down before its start round")
+	}
+	for _, round := range []int{2, 3, 100, 1 << 40} {
+		if !inj.Down(round, 3) {
+			t.Fatalf("crash-stop processor back up at round %d", round)
+		}
+	}
+	if inj.Down(5, 2) {
+		t.Fatal("crash-stop took down the wrong processor")
+	}
+	if inj.To != Forever {
+		t.Fatalf("CrashStop window ends at %d, want Forever", inj.To)
+	}
+}
+
+// TestExecuteObservedOutcomes: the observer sees every delivery exactly
+// once with the correct attribution — delivered, lost in flight, receiver
+// down, sender down, and the non-attributable sender-missing skip.
+func TestExecuteObservedOutcomes(t *testing.T) {
+	g := graph.Path(4)
+	s := schedule.New(4)
+	s.AddSend(0, 0, 0, 1) // t=0: 0 -> {1} : m0  — lost in flight (DropSet)
+	s.AddSend(1, 0, 1, 2) // t=1: 1 -> {2} : m0  — skipped: sender 1 never got m0
+	s.AddSend(2, 1, 1, 0) // t=2: 1 -> {0} : m1  — delivered
+	s.AddSend(3, 1, 0, 1) // t=3: 0 -> {1} : m1  — receiver 1 down (window [3,4))
+	s.AddSend(4, 2, 2, 1) // t=4: 2 -> {1} : m2  — sender 2 down (window [4,5))
+	inj := Compose{
+		DropSet{{Round: 0, Tx: 0, Dest: 1}: true},
+		CrashWindow{Proc: 1, From: 3, To: 4},
+		CrashWindow{Proc: 2, From: 4, To: 5},
+	}
+	type event struct {
+		round, from, to, msg int
+		outcome              DeliveryOutcome
+	}
+	var got []event
+	holds, dropped, err := ExecuteObserved(g, s, inj, nil, 0, func(r, f, to, m int, o DeliveryOutcome) {
+		got = append(got, event{r, f, to, m, o})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []event{
+		{0, 0, 1, 0, LostInFlight},
+		{1, 1, 2, 0, SenderMissing},
+		{2, 1, 0, 1, Delivered},
+		{3, 0, 1, 1, ReceiverDown},
+		{4, 2, 1, 2, SenderDown},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("observed %d events, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], w)
+		}
+	}
+	if dropped != 2 {
+		t.Fatalf("dropped %d, want 2 (in-flight loss + receiver down)", dropped)
+	}
+	if !holds[0].Has(1) {
+		t.Fatal("the delivered event did not deliver")
+	}
+	// The observer must see round numbers shifted by the offset.
+	var first event
+	_, _, err = ExecuteObserved(g, s, inj, nil, 10, func(r, f, to, m int, o DeliveryOutcome) {
+		if first == (event{}) {
+			first = event{r, f, to, m, o}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.round != 10 {
+		t.Fatalf("offset observation started at round %d, want 10", first.round)
+	}
+}
+
+// TestExecuteObservedSuperseded: a same-round receiver conflict reports the
+// discarded later arrival as Superseded.
+func TestExecuteObservedSuperseded(t *testing.T) {
+	g := graph.Complete(3)
+	s := schedule.New(3)
+	s.AddSend(0, 0, 0, 1)
+	s.AddSend(0, 2, 2, 1)
+	var outcomes []DeliveryOutcome
+	_, _, err := ExecuteObserved(g, s, nil, nil, 0, func(_, _, _, _ int, o DeliveryOutcome) {
+		outcomes = append(outcomes, o)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 2 || outcomes[0] != Delivered || outcomes[1] != Superseded {
+		t.Fatalf("outcomes %v, want [Delivered Superseded]", outcomes)
+	}
+}
+
 func TestComposeUnions(t *testing.T) {
 	inj := Compose{
 		DropSet{{Round: 0, Tx: 0, Dest: 1}: true},

@@ -506,3 +506,41 @@ func TestN1IsEightRing(t *testing.T) {
 		}
 	}
 }
+
+func TestComponentDiameter(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"empty", New(0), 0},
+		{"singleton", New(1), 0},
+		{"isolated", New(4), 0},
+		{"path", Path(6), 5},
+		{"cycle", Cycle(8), 4},
+	}
+	// Two components: a 5-path (diameter 4) and a triangle (diameter 1).
+	split := New(8)
+	for v := 0; v < 4; v++ {
+		split.AddEdge(v, v+1)
+	}
+	split.AddEdge(5, 6)
+	split.AddEdge(6, 7)
+	split.AddEdge(5, 7)
+	cases = append(cases, struct {
+		name string
+		g    *Graph
+		want int
+	}{"path+triangle", split, 4})
+	for _, c := range cases {
+		if got := c.g.ComponentDiameter(); got != c.want {
+			t.Errorf("%s: ComponentDiameter() = %d, want %d", c.name, got, c.want)
+		}
+	}
+	// On connected graphs it must agree with Diameter.
+	for _, g := range []*Graph{Path(9), Cycle(10), Grid(3, 5), Petersen()} {
+		if g.ComponentDiameter() != g.Diameter() {
+			t.Errorf("%v: ComponentDiameter %d != Diameter %d", g, g.ComponentDiameter(), g.Diameter())
+		}
+	}
+}

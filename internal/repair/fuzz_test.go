@@ -1,0 +1,48 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// FuzzPlanRounds checks the planner's model-safety invariant on arbitrary
+// inputs: every schedule PlanRounds emits, from any hold-state on any
+// random connected graph, must respect its round cap and replay cleanly
+// under the full model validation of schedule.Run (senders hold what they
+// multicast, one multicast per sender and at most one receive per
+// processor per round, every delivery over a real link).
+func FuzzPlanRounds(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(128), uint8(3), uint8(3))
+	f.Add(int64(42), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(int64(-7), uint8(23), uint8(255), uint8(19), uint8(200))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, pRaw, capRaw, fillRaw uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%24
+		p := float64(pRaw) / 255
+		g := graph.RandomConnected(rng, n, p)
+		// Arbitrary hold-state: every processor holds its own message (the
+		// gossip invariant every execution preserves) plus a random subset
+		// of the others, denser as fillRaw grows.
+		holds := make([]*schedule.Bitset, n)
+		for v := range holds {
+			holds[v] = schedule.NewBitset(n)
+			holds[v].Set(v)
+			for m := 0; m < n; m++ {
+				if rng.Intn(256) < int(fillRaw) {
+					holds[v].Set(m)
+				}
+			}
+		}
+		maxRounds := 1 + int(capRaw)%(2*n)
+		s := PlanRounds(g, holds, maxRounds)
+		if s.Time() > maxRounds {
+			t.Fatalf("planned %d rounds over the cap %d", s.Time(), maxRounds)
+		}
+		if _, err := schedule.Run(g, s, schedule.Options{Initial: holds}); err != nil {
+			t.Fatalf("planned schedule violates the model on n=%d p=%v: %v", n, p, err)
+		}
+	})
+}

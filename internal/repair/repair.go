@@ -115,14 +115,25 @@ func PlanRounds(g *graph.Graph, holds []*schedule.Bitset, maxRounds int) *schedu
 	return s
 }
 
+// DefaultQuarantineThreshold is the suspicion threshold when
+// Options.QuarantineThreshold is unset: after this many consecutive
+// iterations in which every delivery over a link (or to a processor)
+// failed, the link (processor) is quarantined and planning moves to the
+// survivor subgraph. Three keeps transient loss from triggering spurious
+// amputations (at loss rate p a healthy retried link is quarantined with
+// probability ~p³) while bounding the rounds wasted on a permanent fault.
+const DefaultQuarantineThreshold = 3
+
 // Options configure a repair run.
 type Options struct {
 	// MaxIterations bounds the plan-execute-remeasure retry loop; zero
 	// means DefaultMaxIterations.
 	MaxIterations int
 	// RoundsPerIteration caps the rounds planned per iteration; zero means
-	// the network diameter (computed with one full BFS sweep), the distance
-	// a repair wavefront may need to travel.
+	// the survivor graph's per-component diameter, the distance a repair
+	// wavefront may need to travel (recomputed after each quarantine).
+	// Stalled iterations double the cap, up to the processor count, as
+	// backoff against caps that turn out too tight.
 	RoundsPerIteration int
 	// Injector applies faults to the repair rounds themselves; nil runs
 	// them lossless.
@@ -132,10 +143,23 @@ type Options struct {
 	// injector sees one consistent global round numbering.
 	RoundOffset int
 	// Validate re-checks every planned iteration against the communication
-	// model (schedule.Run with the current holds as the initial state)
-	// before executing it, turning planner bugs into errors instead of
-	// silently invalid repairs.
+	// model (schedule.Run over the survivor graph with the current holds as
+	// the initial state) before executing it, turning planner bugs into
+	// errors instead of silently invalid repairs.
 	Validate bool
+	// QuarantineThreshold is the number of consecutive failed delivery
+	// attempts after which a link or processor is quarantined out of the
+	// survivor graph; zero means DefaultQuarantineThreshold.
+	QuarantineThreshold int
+	// StallPatience is the number of consecutive iterations with an
+	// unchanged deficit and no quarantine change tolerated before the run
+	// gives up with Outcome.Stalled set. Zero means the quarantine
+	// threshold, so quarantine always gets its chance to fire before a
+	// stall is declared.
+	StallPatience int
+	// RecordPlans retains every executed repair batch in Outcome.Plans, for
+	// tests and tooling that audit what was planned when.
+	RecordPlans bool
 }
 
 // Outcome reports what a repair run achieved.
@@ -146,13 +170,47 @@ type Outcome struct {
 	Dropped    int                // repair deliveries lost in flight
 	Repaired   int                // (processor, message) pairs restored
 	Complete   bool               // deficit fully closed
+
+	// Stalled reports that the run gave up before exhausting its budget
+	// because iterations stopped shrinking the deficit with reachable pairs
+	// still missing and no quarantine left to change the topology.
+	Stalled bool
+	// ReachableCoverage is the fraction of reachable pairs held at the end,
+	// where a missing pair is reachable when its message has a holder in
+	// the destination's survivor-graph component (held pairs count as
+	// trivially reachable). 1.0 means complete up to reachability: every
+	// pair any repair could possibly deliver was delivered.
+	ReachableCoverage float64
+	// Unreachable lists the missing pairs beyond the reachable ceiling,
+	// ordered by (Processor, Message).
+	Unreachable []Pair
+	// QuarantinedLinks and DownProcessors are the amputations the suspicion
+	// tracker performed, ordered.
+	QuarantinedLinks []graph.Edge
+	DownProcessors   []int
+	// Components is the number of connected components of the final
+	// survivor graph; a quarantined processor is its own singleton, so any
+	// value above 1 means the run degraded gracefully under partition.
+	Components int
+	// Quarantines records each amputation event with the iteration that
+	// triggered it.
+	Quarantines []QuarantineEvent
+	// Plans holds the executed repair batches when Options.RecordPlans was
+	// set, in execution order.
+	Plans []*schedule.Schedule
 }
 
 // Run repairs the deficit of holds on network g: it iterates PlanRounds
-// and fault.ExecuteInjected under opts until every processor holds every
-// message, the iteration budget is exhausted, or no link can supply any
-// missing pair (a message with no holder in a component). holds is not
-// modified; the returned Outcome reports the final hold sets and the cost.
+// and fault.ExecuteObserved under opts until every processor holds every
+// message it can still get. Transient loss is ridden out by retrying;
+// permanent faults are detected by the suspicion tracker (consecutive
+// failed attempts per link and per processor) and quarantined, after which
+// planning continues over the survivor subgraph. The loop terminates when
+// the reachable deficit is empty (complete up to reachability — under
+// partition this is the best any recovery can do), when the deficit stops
+// shrinking with nothing left to quarantine (Outcome.Stalled), or when the
+// iteration budget runs out. holds is not modified; the returned Outcome
+// reports the final hold sets, the cost, and the survivor topology.
 func Run(g *graph.Graph, holds []*schedule.Bitset, opts Options) (Outcome, error) {
 	n := g.N()
 	if len(holds) != n {
@@ -165,10 +223,11 @@ func Run(g *graph.Graph, holds []*schedule.Bitset, opts Options) (Outcome, error
 		}
 		cur[v] = h.Clone()
 	}
-	out := Outcome{Holds: cur}
+	out := Outcome{Holds: cur, ReachableCoverage: 1}
 	deficit := MissingPairs(cur)
 	if deficit == 0 {
 		out.Complete = true
+		out.Components = len(g.Components())
 		return out, nil
 	}
 	initialDeficit := deficit
@@ -176,29 +235,44 @@ func Run(g *graph.Graph, holds []*schedule.Bitset, opts Options) (Outcome, error
 	if iters <= 0 {
 		iters = DefaultMaxIterations
 	}
-	cap := opts.RoundsPerIteration
-	if cap <= 0 {
-		res, err := g.Sweep(graph.SweepAll)
-		if err != nil {
-			return out, fmt.Errorf("repair: %w", err)
-		}
-		cap = res.Diameter
-		if cap < 1 {
-			cap = 1
-		}
+	threshold := opts.QuarantineThreshold
+	if threshold <= 0 {
+		threshold = DefaultQuarantineThreshold
 	}
+	patience := opts.StallPatience
+	if patience <= 0 {
+		patience = threshold
+	}
+	susp := newSuspicion(n, threshold)
+	surv := g
+	adaptiveCap := opts.RoundsPerIteration <= 0
+	baseCap := opts.RoundsPerIteration
+	if adaptiveCap {
+		baseCap = max(1, surv.ComponentDiameter())
+	}
+	capRounds := baseCap
+	maxCap := max(n, baseCap)
 	offset := opts.RoundOffset
+	noProgress := 0
+loop:
 	for it := 0; it < iters && deficit > 0; it++ {
-		plan := PlanRounds(g, cur, cap)
+		if reachableDeficit(surv, cur) == 0 {
+			break // complete up to reachability: the rest has no live holder
+		}
+		plan := PlanRounds(surv, cur, capRounds)
 		if plan.Time() == 0 {
-			break // some missing message has no reachable holder
+			// A reachable pair is always plannable (wavefront argument), so
+			// an empty plan here means the planner is wedged: stop honestly.
+			out.Stalled = true
+			break
 		}
 		if opts.Validate {
-			if _, err := schedule.Run(g, plan, schedule.Options{Initial: cur}); err != nil {
+			if _, err := schedule.Run(surv, plan, schedule.Options{Initial: cur}); err != nil {
 				return out, fmt.Errorf("repair: planned rounds violate the model: %w", err)
 			}
 		}
-		next, dropped, err := fault.ExecuteInjected(g, plan, opts.Injector, cur, offset)
+		susp.beginIteration()
+		next, dropped, err := fault.ExecuteObserved(g, plan, opts.Injector, cur, offset, susp.observe)
 		if err != nil {
 			return out, fmt.Errorf("repair: %w", err)
 		}
@@ -206,11 +280,59 @@ func Run(g *graph.Graph, holds []*schedule.Bitset, opts Options) (Outcome, error
 		out.Rounds += plan.Time()
 		out.Dropped += dropped
 		offset += plan.Time()
+		if opts.RecordPlans {
+			out.Plans = append(out.Plans, plan)
+		}
+		newLinks, newProcs := susp.endIteration()
+		quarantined := len(newLinks) > 0 || len(newProcs) > 0
+		if quarantined {
+			out.Quarantines = append(out.Quarantines, QuarantineEvent{
+				Iteration: it, Links: newLinks, Processors: newProcs,
+			})
+			surv = susp.survivorGraph(g)
+			if adaptiveCap {
+				baseCap = max(1, surv.ComponentDiameter())
+				// Recovery after an amputation should finish in one
+				// decisive batch, not trickle diameter-sized iterations:
+				// open the cap to the backoff ceiling. Receive bandwidth
+				// (one message per processor per round), not wavefront
+				// distance, bounds the post-quarantine deficit.
+				capRounds = maxCap
+			} else {
+				capRounds = baseCap
+			}
+		}
+		progressed := MissingPairs(next) < deficit
 		cur = next
 		deficit = MissingPairs(cur)
+		switch {
+		case quarantined:
+			// The topology just changed; the replanned loop starts fresh
+			// (and keeps the opened cap from the quarantine block).
+			noProgress = 0
+		case progressed:
+			noProgress = 0
+			capRounds = baseCap
+		default:
+			noProgress++
+			if noProgress >= patience {
+				out.Stalled = true
+				break loop
+			}
+			// Backoff: the cap may be too tight for the survivor wavefront.
+			capRounds = min(capRounds*2, maxCap)
+		}
 	}
 	out.Holds = cur
 	out.Repaired = initialDeficit - deficit
 	out.Complete = deficit == 0
+	out.QuarantinedLinks = susp.quarantinedLinks()
+	out.DownProcessors = susp.downProcessors()
+	out.Components = len(surv.Components())
+	out.Unreachable = unreachablePairs(surv, cur)
+	total := n * cur[0].Len()
+	if reachable := total - len(out.Unreachable); reachable > 0 {
+		out.ReachableCoverage = float64(total-deficit) / float64(reachable)
+	}
 	return out, nil
 }

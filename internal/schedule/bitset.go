@@ -61,6 +61,24 @@ func (b *Bitset) FirstAndNot(o *Bitset) int {
 	return -1
 }
 
+// Or sets every bit of o into b. Both bitsets must have the same capacity.
+func (b *Bitset) Or(o *Bitset) {
+	for i, w := range o.words {
+		b.words[i] |= w
+	}
+}
+
+// CountAndNot returns the number of indices set in b and clear in o — the
+// count of messages a holder of b could still supply to a holder of o.
+// Both bitsets must have the same capacity.
+func (b *Bitset) CountAndNot(o *Bitset) int {
+	c := 0
+	for i, w := range b.words {
+		c += bits.OnesCount64(w &^ o.words[i])
+	}
+	return c
+}
+
 // Missing returns the indices of unset bits, ascending.
 func (b *Bitset) Missing() []int {
 	var out []int

@@ -336,3 +336,23 @@ func TestScheduleString(t *testing.T) {
 		t.Fatalf("String output unexpected:\n%s", out)
 	}
 }
+
+func TestBitsetCountAndNot(t *testing.T) {
+	a := NewBitset(130)
+	b := NewBitset(130)
+	for _, i := range []int{0, 5, 63, 64, 100, 129} {
+		a.Set(i)
+	}
+	for _, i := range []int{5, 64, 129} {
+		b.Set(i)
+	}
+	if got := a.CountAndNot(b); got != 3 {
+		t.Fatalf("CountAndNot = %d, want 3 (bits 0, 63, 100)", got)
+	}
+	if got := b.CountAndNot(a); got != 0 {
+		t.Fatalf("b \\ a = %d, want 0 (b is a subset)", got)
+	}
+	if got := a.CountAndNot(NewBitset(130)); got != a.Count() {
+		t.Fatalf("a \\ empty = %d, want %d", got, a.Count())
+	}
+}
