@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race bench-smoke fault-smoke fuzz-smoke bench sweep-record fault-record experiments
+.PHONY: check vet staticcheck build test race cover bench-smoke fault-smoke fuzz-smoke bench sweep-record fault-record obs-record experiments
 
-check: vet staticcheck build race bench-smoke fault-smoke fuzz-smoke
+check: vet staticcheck build race cover bench-smoke fault-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,19 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Atomic-mode coverage over the library packages (cmd/ mains and examples/
+# are exercised by the smokes, not unit tests) with a floor at the recorded
+# baseline. Raise COVER_MIN when coverage rises; never lower it.
+COVER_MIN ?= 91.9
+COVER_PKGS = $(shell $(GO) list ./... | grep -v '/cmd/' | grep -v '/examples/')
+
+cover:
+	$(GO) test -covermode=atomic -coverprofile=cover.out $(COVER_PKGS)
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit !(t+0 >= min+0) }' || \
+		{ echo "coverage $$total% fell below the $(COVER_MIN)% baseline"; exit 1; }
 
 # One iteration of every Sweep* benchmark: proves the naive and pruned paths
 # still run and agree without paying full measurement time.
@@ -59,6 +72,11 @@ sweep-record:
 # and repair overhead across ring/grid/random at n in {256, 1024}).
 fault-record:
 	$(GO) run ./cmd/faultbench -out BENCH_fault.json
+
+# Regenerate the BENCH_obs.json observability-overhead record (untraced vs
+# nil-observer vs sink-attached execution on a ring at n = 1024).
+obs-record:
+	$(GO) run ./cmd/obsbench -out BENCH_obs.json
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -3,6 +3,7 @@ package multigossip
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"multigossip/internal/async"
 	"multigossip/internal/baseline"
@@ -72,6 +73,8 @@ type SweepStats struct {
 	Pruned         int
 	ShortCircuited int
 	Workers        int
+	// Elapsed is the wall-clock duration of the sweep.
+	Elapsed time.Duration
 }
 
 func sweepStatsFrom(s graph.SweepStats) SweepStats {
@@ -82,6 +85,7 @@ func sweepStatsFrom(s graph.SweepStats) SweepStats {
 		Pruned:         s.Pruned,
 		ShortCircuited: s.ShortCircuited,
 		Workers:        s.Workers,
+		Elapsed:        s.Elapsed,
 	}
 }
 

@@ -6,12 +6,24 @@
 //
 // The suite is deterministic: a fixed seed drives every random workload, so
 // consecutive runs produce identical reports.
+//
+// Profiling hooks: -cpuprofile and -memprofile write pprof profiles of the
+// suite run (go tool pprof <file>), and -pprof serves the live
+// net/http/pprof endpoints on the given address for the duration of the
+// run, e.g.
+//
+//	go run ./cmd/experiments -parallel -cpuprofile cpu.pprof
+//	go run ./cmd/experiments -pprof localhost:6060   # then /debug/pprof/
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"multigossip/internal/expt"
 )
@@ -20,7 +32,36 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	seed := flag.Int64("seed", 0, "override the workload seed (0 = default)")
 	parallel := flag.Bool("parallel", false, "run the experiments concurrently (identical output)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the suite run to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (host:port) while the suite runs")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: -pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: -cpuprofile:", err)
+			}
+		}()
+	}
 
 	suite := expt.NewSuite()
 	if *seed != 0 {
@@ -31,6 +72,23 @@ func main() {
 		report = suite.RenderParallel()
 	} else {
 		report = suite.Render()
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *out == "" {

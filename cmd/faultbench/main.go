@@ -11,13 +11,20 @@
 // dropped and pairs repaired, repair rounds and iterations, and the
 // overhead of repair relative to the schedule length.
 //
-//	go run ./cmd/faultbench -out BENCH_fault.json
+// The observability layer hooks in behind two flags: -trace streams every
+// execution's rounds, repair iterations and quarantines into one Chrome
+// trace_event JSON timeline (chrome://tracing, Perfetto), and -metrics
+// dumps the aggregated gossip_* counters and histograms in the Prometheus
+// text format.
+//
+//	go run ./cmd/faultbench -out BENCH_fault.json -trace fault.trace.json -metrics fault.prom
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"os"
@@ -95,7 +102,7 @@ func buildNetwork(kind string, n int) *multigossip.Network {
 	panic("unknown topology " + kind)
 }
 
-func measure(kind string, n int, rates []float64, trials, budget int) ([]record, error) {
+func measure(kind string, n int, rates []float64, trials, budget int, watch multigossip.RoundObserver) ([]record, error) {
 	nw := buildNetwork(kind, n)
 	plan, err := nw.PlanGossip()
 	if err != nil {
@@ -124,10 +131,14 @@ func measure(kind string, n int, rates []float64, trials, budget int) ([]record,
 		}
 		for trial := 0; trial < trials; trial++ {
 			seed := int64(n)*1000 + int64(trial)
-			rep, err := plan.ExecuteWithFaults(
+			opts := []multigossip.FaultOption{
 				multigossip.WithLinkLoss(rate, seed),
 				multigossip.WithRepairBudget(budget),
-			)
+			}
+			if watch != nil {
+				opts = append(opts, multigossip.WithObserver(watch))
+			}
+			rep, err := plan.ExecuteWithFaults(opts...)
 			if err != nil {
 				return nil, err
 			}
@@ -157,7 +168,7 @@ func measure(kind string, n int, rates []float64, trials, budget int) ([]record,
 // processor 0 dead (isolating it — observationally a crash, which is how
 // the suspicion tracker attributes it), and a crash-stop of processor 0
 // before round 0.
-func measurePermanent(kind string, n, budget int) ([]permRecord, error) {
+func measurePermanent(kind string, n, budget int, watch multigossip.RoundObserver) ([]permRecord, error) {
 	nw := buildNetwork(kind, n)
 	plan, err := nw.PlanGossip()
 	if err != nil {
@@ -197,6 +208,9 @@ func measurePermanent(kind string, n, budget int) ([]permRecord, error) {
 	var out []permRecord
 	for _, sc := range scens {
 		opts := append([]multigossip.FaultOption{multigossip.WithRepairBudget(budget)}, sc.opts...)
+		if watch != nil {
+			opts = append(opts, multigossip.WithObserver(watch))
+		}
 		rep, err := plan.ExecuteWithFaults(opts...)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", sc.name, err)
@@ -247,6 +261,8 @@ func main() {
 	rates := flag.String("rates", "0,0.001,0.01,0.05", "comma-separated per-delivery loss probabilities")
 	trials := flag.Int("trials", 3, "seeded executions averaged per (topology, size, rate)")
 	budget := flag.Int("budget", 64, "repair iteration budget (each iteration costs at most the diameter in rounds)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline of every execution to this path")
+	metricsPath := flag.String("metrics", "", "write the aggregated gossip_* metrics in Prometheus text format to this path")
 	flag.Parse()
 
 	ns, err := parseList(*sizes, strconv.Atoi)
@@ -268,6 +284,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tracer *multigossip.Tracer
+	var metrics *multigossip.Metrics
+	var watch multigossip.RoundObserver
+	if *tracePath != "" {
+		tracer = multigossip.NewTracer()
+		watch = multigossip.MultiObserver(watch, tracer)
+	}
+	if *metricsPath != "" {
+		metrics = multigossip.NewMetrics()
+		watch = multigossip.MultiObserver(watch, multigossip.InstrumentMetrics(metrics))
+	}
+
 	rep := report{
 		Tool:       "cmd/faultbench",
 		Benchmark:  "ConcurrentUpDown under Bernoulli link loss: coverage before/after repair and repair overhead",
@@ -278,7 +306,7 @@ func main() {
 		"topology", "n", "loss", "raw cov", "final", "dropped", "rep.rnds", "iters", "overhead")
 	for _, kind := range []string{"ring", "grid", "random"} {
 		for _, n := range ns {
-			recs, err := measure(kind, n, ps, *trials, *budget)
+			recs, err := measure(kind, n, ps, *trials, *budget, watch)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "faultbench: %s n=%d: %v\n", kind, n, err)
 				os.Exit(1)
@@ -296,7 +324,7 @@ func main() {
 		"topology", "n", "scenario", "raw cov", "final", "reach", "unreach", "quar", "comps", "stalled")
 	for _, kind := range []string{"ring", "grid", "random"} {
 		for _, n := range ns {
-			recs, err := measurePermanent(kind, n, *budget)
+			recs, err := measurePermanent(kind, n, *budget, watch)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "faultbench: %s n=%d: %v\n", kind, n, err)
 				os.Exit(1)
@@ -321,4 +349,32 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if tracer != nil {
+		if err := writeTo(*tracePath, tracer.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "faultbench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *tracePath)
+	}
+	if metrics != nil {
+		if err := writeTo(*metricsPath, metrics.WritePrometheus); err != nil {
+			fmt.Fprintf(os.Stderr, "faultbench: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *metricsPath)
+	}
+}
+
+// writeTo streams an exporter into a freshly created file.
+func writeTo(path string, dump func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

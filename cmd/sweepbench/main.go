@@ -10,7 +10,11 @@
 // best-height cutoff, and the steady-state allocations per traversal of the
 // full (unpruned) sweep.
 //
-//	go run ./cmd/sweepbench -out BENCH_sweep.json
+// With -trace the run also writes a Chrome trace_event JSON timeline
+// (chrome://tracing, Perfetto): one phase span per timed benchmark stage,
+// annotated with the measured ns/op and the sweep counters.
+//
+//	go run ./cmd/sweepbench -out BENCH_sweep.json -trace sweep.trace.json
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"testing"
 
 	"multigossip/internal/graph"
+	"multigossip/internal/obs"
 	"multigossip/internal/spantree"
 )
 
@@ -43,6 +48,7 @@ type record struct {
 	RootsShortCircuited int     `json:"roots_short_circuited"`
 	Workers             int     `json:"workers"`
 	AllocsPerTraversal  float64 `json:"allocs_per_traversal_full_sweep"`
+	SweepElapsedNs      int64   `json:"sweep_elapsed_ns"`
 }
 
 type report struct {
@@ -83,23 +89,36 @@ func naiveMinDepth(g *graph.Graph) *spantree.Tree {
 	return best
 }
 
-func measure(kind string, n int) record {
+func measure(kind string, n int, tracer *obs.Tracer) record {
 	g := buildGraph(kind, n)
-	naive := testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			naiveMinDepth(g)
+	span := func(stage string, f func()) {
+		if tracer != nil {
+			name := fmt.Sprintf("%s %s n=%d", stage, kind, n)
+			tracer.BeginPhase(name, "")
+			defer tracer.EndPhase(name)
 		}
+		f()
+	}
+	var naive, pruned, full testing.BenchmarkResult
+	span("naive", func() {
+		naive = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				naiveMinDepth(g)
+			}
+		})
 	})
 	var stats graph.SweepStats
 	var height, naiveHeight int
-	pruned := testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			tr, s, err := spantree.MinDepthWithStats(g)
-			if err != nil {
-				panic(err)
+	span("pruned", func() {
+		pruned = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr, s, err := spantree.MinDepthWithStats(g)
+				if err != nil {
+					panic(err)
+				}
+				stats, height = s, tr.Height
 			}
-			stats, height = s, tr.Height
-		}
+		})
 	})
 	if naiveHeight = naiveMinDepth(g).Height; naiveHeight != height {
 		panic(fmt.Sprintf("%s n=%d: pruned height %d != naive height %d", kind, n, height, naiveHeight))
@@ -110,15 +129,17 @@ func measure(kind string, n int) record {
 	// (CSR + per-worker scratch) amortises out and the per-traversal cost
 	// shows as ~0.
 	var fullCompleted int
-	full := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			res, err := g.Sweep(graph.SweepAll)
-			if err != nil {
-				panic(err)
+	span("full", func() {
+		full = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := g.Sweep(graph.SweepAll)
+				if err != nil {
+					panic(err)
+				}
+				fullCompleted = res.Stats.Completed
 			}
-			fullCompleted = res.Stats.Completed
-		}
+		})
 	})
 	return record{
 		Topology:            kind,
@@ -134,12 +155,14 @@ func measure(kind string, n int) record {
 		RootsShortCircuited: stats.ShortCircuited,
 		Workers:             stats.Workers,
 		AllocsPerTraversal:  float64(full.AllocsPerOp()) / float64(fullCompleted),
+		SweepElapsedNs:      stats.Elapsed.Nanoseconds(),
 	}
 }
 
 func main() {
 	out := flag.String("out", "BENCH_sweep.json", "output path for the perf record")
 	sizes := flag.String("sizes", "256,1024,4096", "comma-separated vertex counts")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the benchmark stages to this path")
 	flag.Parse()
 
 	var ns []int
@@ -150,6 +173,11 @@ func main() {
 			os.Exit(2)
 		}
 		ns = append(ns, n)
+	}
+
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
 	}
 
 	rep := report{
@@ -163,7 +191,7 @@ func main() {
 		"topology", "n", "m", "naive ns/op", "pruned ns/op", "speedup", "completed", "pruned", "short", "allocs/t")
 	for _, kind := range []string{"ring", "grid", "random"} {
 		for _, n := range ns {
-			r := measure(kind, n)
+			r := measure(kind, n, tracer)
 			rep.Cases = append(rep.Cases, r)
 			fmt.Printf("%-8s %6d %7d %14d %14d %7.2fx %10d %8d %8d %8.4f\n",
 				r.Topology, r.N, r.M, r.NaiveNsOp, r.PrunedNsOp, r.Speedup,
@@ -181,4 +209,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err == nil {
+			err = tracer.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweepbench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *tracePath)
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"multigossip/internal/fault"
+	"multigossip/internal/obs"
 	"multigossip/internal/repair"
 )
 
@@ -61,6 +62,13 @@ type FaultReport struct {
 	// Stalled reports that repair gave up early: iterations stopped making
 	// progress on reachable pairs with nothing left to quarantine.
 	Stalled bool
+
+	// ProgressCurve is the per-round holds-coverage curve of the whole
+	// execution, scheduled and repair rounds together under absolute round
+	// indices. Each point carries the round's delivery stats and the
+	// cumulative fraction of (processor, message) pairs held after it. It is
+	// always collected, with or without WithObserver.
+	ProgressCurve []RoundProgress
 }
 
 // Pair is one (processor, message) pair of the gossip problem: Processor
@@ -79,6 +87,7 @@ type faultConfig struct {
 	repair     bool
 	maxIters   int
 	quarantine int
+	observer   obs.RoundObserver
 	validation error
 }
 
@@ -184,6 +193,17 @@ func WithQuarantineThreshold(k int) FaultOption {
 	}
 }
 
+// WithObserver attaches a RoundObserver to the execution: it receives
+// "schedule" and "repair" phase spans, BeginRound/EndRound with aggregated
+// stats for every round (repair rounds under absolute indices continuing
+// the schedule's), one Delivery event per scheduled delivery with its
+// outcome, and RepairIteration/Quarantine events from the repair engine.
+// Repeated options stack: every observer receives every event. Combine
+// with NewTracer or InstrumentMetrics for ready-made sinks.
+func WithObserver(o RoundObserver) FaultOption {
+	return func(c *faultConfig) { c.observer = obs.Multi(c.observer, o) }
+}
+
 // WithoutRepair disables the repair engine: the report describes the raw
 // degradation of the schedule under the injected faults.
 func WithoutRepair() FaultOption {
@@ -258,7 +278,12 @@ func (p *Plan) ExecuteWithFaults(opts ...FaultOption) (FaultReport, error) {
 			}
 		}
 	}
-	holds, dropped, err := fault.ExecuteInjected(p.network, s, inj, nil, 0)
+	n := p.network.N()
+	progress := obs.NewProgressCollector(n, n*n)
+	ro := obs.Multi(cfg.observer, progress)
+	ro.BeginPhase("schedule", p.algo.String())
+	holds, dropped, err := fault.ExecuteTraced(p.network, s, inj, nil, 0, nil, ro)
+	ro.EndPhase("schedule")
 	if err != nil {
 		return FaultReport{}, err
 	}
@@ -272,15 +297,19 @@ func (p *Plan) ExecuteWithFaults(opts ...FaultOption) (FaultReport, error) {
 		rep.ReachableCoverage = rep.Coverage
 		rep.TotalRounds = rep.ScheduleRounds
 		rep.Complete = repair.MissingPairs(holds) == 0
+		rep.ProgressCurve = progress.Curve()
 		return rep, nil
 	}
+	ro.BeginPhase("repair", "")
 	out, err := repair.Run(p.network, holds, repair.Options{
 		MaxIterations:       cfg.maxIters,
 		Injector:            inj,
 		RoundOffset:         s.Time(),
 		Validate:            true,
 		QuarantineThreshold: cfg.quarantine,
+		Observer:            ro,
 	})
+	ro.EndPhase("repair")
 	if err != nil {
 		return FaultReport{}, err
 	}
@@ -301,5 +330,6 @@ func (p *Plan) ExecuteWithFaults(opts ...FaultOption) (FaultReport, error) {
 	rep.DownProcessors = out.DownProcessors
 	rep.Components = out.Components
 	rep.Stalled = out.Stalled
+	rep.ProgressCurve = progress.Curve()
 	return rep, nil
 }

@@ -28,6 +28,7 @@ import (
 	"math/rand"
 
 	"multigossip/internal/graph"
+	"multigossip/internal/obs"
 	"multigossip/internal/schedule"
 )
 
@@ -175,27 +176,28 @@ func (cs Compose) Down(t, p int) bool {
 }
 
 // DeliveryOutcome classifies what happened to one scheduled delivery, as
-// reported to an Observer.
-type DeliveryOutcome uint8
+// reported to an Observer. It is an alias of the canonical obs.Outcome, so
+// fault observers and obs.RoundObserver sinks share one enumeration.
+type DeliveryOutcome = obs.Outcome
 
 const (
 	// Delivered: the message arrived and was absorbed into the hold set.
-	Delivered DeliveryOutcome = iota
+	Delivered = obs.Delivered
 	// LostInFlight: the injector dropped the delivery on the link.
-	LostInFlight
+	LostInFlight = obs.LostInFlight
 	// ReceiverDown: the transmission was sent but the receiver was crashed.
-	ReceiverDown
+	ReceiverDown = obs.ReceiverDown
 	// SenderDown: the whole transmission was skipped because the sender was
 	// crashed; nothing entered the link.
-	SenderDown
+	SenderDown = obs.SenderDown
 	// SenderMissing: the transmission was skipped because the sender never
 	// received the message (upstream fault propagation); nothing entered
 	// the link, and the failure is not attributable to it.
-	SenderMissing
+	SenderMissing = obs.SenderMissing
 	// Superseded: the message arrived but the receiver had already accepted
 	// another delivery this round (possible only downstream of faults or in
 	// hand-built schedules); the later arrival is discarded.
-	Superseded
+	Superseded = obs.Superseded
 )
 
 // Observer receives the fate of every scheduled delivery during an observed
@@ -221,14 +223,25 @@ type Observer func(absRound, from, to, msg int, outcome DeliveryOutcome)
 // flight (skipped transmissions send nothing, so their deliveries are not
 // counted as drops).
 func ExecuteInjected(g *graph.Graph, s *schedule.Schedule, inj Injector, initial []*schedule.Bitset, roundOffset int) (holds []*schedule.Bitset, dropped int, err error) {
-	return ExecuteObserved(g, s, inj, initial, roundOffset, nil)
+	return ExecuteTraced(g, s, inj, initial, roundOffset, nil, nil)
 }
 
-// ExecuteObserved is ExecuteInjected with a per-delivery Observer: obs (if
-// non-nil) is called once for every destination of every scheduled
+// ExecuteObserved is ExecuteInjected with a per-delivery Observer: watch
+// (if non-nil) is called once for every destination of every scheduled
 // transmission with the outcome of that delivery. Execution semantics and
 // return values are identical to ExecuteInjected.
-func ExecuteObserved(g *graph.Graph, s *schedule.Schedule, inj Injector, initial []*schedule.Bitset, roundOffset int, obs Observer) (holds []*schedule.Bitset, dropped int, err error) {
+func ExecuteObserved(g *graph.Graph, s *schedule.Schedule, inj Injector, initial []*schedule.Bitset, roundOffset int, watch Observer) (holds []*schedule.Bitset, dropped int, err error) {
+	return ExecuteTraced(g, s, inj, initial, roundOffset, watch, nil)
+}
+
+// ExecuteTraced is the fully observed executor: watch (if non-nil) receives
+// the per-delivery outcomes as in ExecuteObserved, and ro (if non-nil)
+// receives the structured round events of the observability layer —
+// BeginRound/EndRound with aggregated RoundStats and the same per-delivery
+// outcomes via Delivery. Both observers see absolute round indices
+// (roundOffset added). With both nil the executor takes the untraced fast
+// path; ExecuteInjected and ExecuteObserved delegate here.
+func ExecuteTraced(g *graph.Graph, s *schedule.Schedule, inj Injector, initial []*schedule.Bitset, roundOffset int, watch Observer, ro obs.RoundObserver) (holds []*schedule.Bitset, dropped int, err error) {
 	if g.N() != s.N {
 		return nil, 0, fmt.Errorf("fault: graph has %d processors, schedule %d", g.N(), s.N)
 	}
@@ -257,23 +270,41 @@ func ExecuteObserved(g *graph.Graph, s *schedule.Schedule, inj Injector, initial
 	for i := range received {
 		received[i] = -1
 	}
+	// report fans one delivery outcome out to both observers; skipped is
+	// the SenderDown/SenderMissing case, where the whole destination set is
+	// reported at once.
+	report := func(abs, from, to, msg int, outcome DeliveryOutcome) {
+		if watch != nil {
+			watch(abs, from, to, msg, outcome)
+		}
+		if ro != nil {
+			ro.Delivery(abs, from, to, msg, outcome)
+		}
+	}
+	observed := watch != nil || ro != nil
 	for t, round := range s.Rounds {
 		abs := roundOffset + t
+		if ro != nil {
+			ro.BeginRound(abs)
+		}
+		var stats obs.RoundStats
 		type delivery struct{ msg, to int }
 		var arriving []delivery
 		for txIdx, tx := range round {
 			if inj != nil && inj.Down(abs, tx.From) {
-				if obs != nil {
+				stats.Skipped += len(tx.To)
+				if observed {
 					for _, d := range tx.To {
-						obs(abs, tx.From, d, tx.Msg, SenderDown)
+						report(abs, tx.From, d, tx.Msg, SenderDown)
 					}
 				}
 				continue // crashed sender: nothing leaves it
 			}
 			if !holds[tx.From].Has(tx.Msg) {
-				if obs != nil {
+				stats.Skipped += len(tx.To)
+				if observed {
 					for _, d := range tx.To {
-						obs(abs, tx.From, d, tx.Msg, SenderMissing)
+						report(abs, tx.From, d, tx.Msg, SenderMissing)
 					}
 				}
 				continue // fault propagation: nothing to send
@@ -282,34 +313,44 @@ func ExecuteObserved(g *graph.Graph, s *schedule.Schedule, inj Injector, initial
 				if inj != nil {
 					if inj.Drop(abs, txIdx, tx.From, d, tx.Msg) {
 						dropped++
-						if obs != nil {
-							obs(abs, tx.From, d, tx.Msg, LostInFlight)
+						stats.Dropped++
+						if observed {
+							report(abs, tx.From, d, tx.Msg, LostInFlight)
 						}
 						continue
 					}
 					if inj.Down(abs, d) {
 						dropped++
-						if obs != nil {
-							obs(abs, tx.From, d, tx.Msg, ReceiverDown)
+						stats.Dropped++
+						if observed {
+							report(abs, tx.From, d, tx.Msg, ReceiverDown)
 						}
 						continue
 					}
 				}
 				if received[d] == t {
-					if obs != nil {
-						obs(abs, tx.From, d, tx.Msg, Superseded)
+					stats.Superseded++
+					if observed {
+						report(abs, tx.From, d, tx.Msg, Superseded)
 					}
 					continue // conflict after upstream faults: discard
 				}
 				received[d] = t
 				arriving = append(arriving, delivery{tx.Msg, d})
-				if obs != nil {
-					obs(abs, tx.From, d, tx.Msg, Delivered)
+				stats.Delivered++
+				if observed {
+					report(abs, tx.From, d, tx.Msg, Delivered)
 				}
 			}
 		}
 		for _, a := range arriving {
+			if ro != nil && !holds[a.to].Has(a.msg) {
+				stats.NewPairs++
+			}
 			holds[a.to].Set(a.msg)
+		}
+		if ro != nil {
+			ro.EndRound(abs, stats)
 		}
 	}
 	return holds, dropped, nil

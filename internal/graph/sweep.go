@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file is the shared BFS sweep engine. Every O(nm) all-roots question
@@ -50,6 +51,10 @@ type SweepStats struct {
 	Pruned         int // roots skipped outright by the eccentricity lower bound
 	ShortCircuited int // traversals abandoned once they exceeded the best height
 	Workers        int // size of the worker pool the roots were fanned over
+
+	// Elapsed is the wall-clock duration of the sweep, for the
+	// observability layer's sweep-timing metrics.
+	Elapsed time.Duration
 }
 
 // SweepResult is the outcome of one sweep over all roots.
@@ -154,6 +159,7 @@ func (g *Graph) Sweep(mode SweepMode) (*SweepResult, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("graph: sweep of an empty graph")
 	}
+	sweepStart := time.Now()
 	c := newCSR(g)
 	res := &SweepResult{Mode: mode, Ecc: make([]int, n), Diameter: -1}
 	for i := range res.Ecc {
@@ -349,6 +355,7 @@ func (g *Graph) Sweep(mode SweepMode) (*SweepResult, error) {
 	if mode == SweepAll {
 		res.Diameter = diameter
 	}
+	res.Stats.Elapsed = time.Since(sweepStart)
 	return res, nil
 }
 

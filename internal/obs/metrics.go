@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are atomic and
+// allocation-free; callers resolve the handle once (Registry.Counter) and
+// record through it on the hot path.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (d must be >= 0 for the Prometheus dump to stay well-formed).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: observations are counted into the
+// first bucket whose upper bound is >= the value, with an implicit +Inf
+// bucket at the end. Observe is atomic and allocation-free.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the finite bucket upper bounds; Counts has one extra final
+	// entry for the +Inf bucket. Counts are per-bucket, not cumulative.
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot is a point-in-time copy of every metric in a Registry.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Registry is a named collection of counters, gauges and histograms.
+// Metric lookup takes a lock and may allocate; recording through the
+// returned handles is lock-free. Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given finite bucket upper bounds on first use (later calls ignore
+// bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.buckets)),
+			Count:  h.count.Load(),
+			Sum:    math.Float64frombits(h.sumBits.Load()),
+		}
+		for i := range h.buckets {
+			hs.Counts[i] = h.buckets[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WritePrometheus dumps the registry in the Prometheus text exposition
+// format (version 0.0.4): one TYPE comment and sample per metric, with
+// histogram buckets rendered cumulatively under le labels.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, formatBound(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(&b, "%s_sum %v\n%s_count %d\n", name, h.Sum, name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// instrument is the RoundObserver that records execution events into a
+// Registry. Handles are resolved once at construction; every event records
+// through atomics only.
+type instrument struct {
+	Nop
+	rounds, delivered, dropped, skipped, superseded, newPairs *Counter
+	repairIters, repairRounds, quarLinks, quarProcs           *Counter
+	outcomes                                                  [NumOutcomes]*Counter
+	roundDelivered                                            *Histogram
+}
+
+// DefaultRoundBuckets are the delivery-count buckets Instrument uses for
+// the per-round delivered histogram.
+var DefaultRoundBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+
+// Instrument returns a RoundObserver recording into r under the
+// gossip_* metric names: per-round delivery counters
+// (gossip_delivered_total, gossip_dropped_total, gossip_skipped_total,
+// gossip_superseded_total, gossip_new_pairs_total, gossip_rounds_total),
+// per-outcome delivery counters (gossip_outcome_<name>_total), repair
+// dynamics (gossip_repair_iterations_total, gossip_repair_rounds_total,
+// gossip_quarantined_links_total, gossip_quarantined_processors_total) and
+// a per-round delivered histogram (gossip_round_delivered).
+func Instrument(r *Registry) RoundObserver {
+	ins := &instrument{
+		rounds:         r.Counter("gossip_rounds_total"),
+		delivered:      r.Counter("gossip_delivered_total"),
+		dropped:        r.Counter("gossip_dropped_total"),
+		skipped:        r.Counter("gossip_skipped_total"),
+		superseded:     r.Counter("gossip_superseded_total"),
+		newPairs:       r.Counter("gossip_new_pairs_total"),
+		repairIters:    r.Counter("gossip_repair_iterations_total"),
+		repairRounds:   r.Counter("gossip_repair_rounds_total"),
+		quarLinks:      r.Counter("gossip_quarantined_links_total"),
+		quarProcs:      r.Counter("gossip_quarantined_processors_total"),
+		roundDelivered: r.Histogram("gossip_round_delivered", DefaultRoundBuckets),
+	}
+	for o := 0; o < NumOutcomes; o++ {
+		ins.outcomes[o] = r.Counter("gossip_outcome_" + Outcome(o).String() + "_total")
+	}
+	return ins
+}
+
+func (i *instrument) EndRound(_ int, s RoundStats) {
+	i.rounds.Inc()
+	i.delivered.Add(int64(s.Delivered))
+	i.dropped.Add(int64(s.Dropped))
+	i.skipped.Add(int64(s.Skipped))
+	i.superseded.Add(int64(s.Superseded))
+	i.newPairs.Add(int64(s.NewPairs))
+	i.roundDelivered.Observe(float64(s.Delivered))
+}
+
+func (i *instrument) Delivery(_, _, _, _ int, outcome Outcome) {
+	if int(outcome) < NumOutcomes {
+		i.outcomes[outcome].Inc()
+	}
+}
+
+func (i *instrument) RepairIteration(_ int, s RepairStats) {
+	i.repairIters.Inc()
+	i.repairRounds.Add(int64(s.PlannedRounds))
+}
+
+func (i *instrument) Quarantine(_ int, links [][2]int, processors []int) {
+	i.quarLinks.Add(int64(len(links)))
+	i.quarProcs.Add(int64(len(processors)))
+}

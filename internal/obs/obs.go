@@ -1,0 +1,192 @@
+// Package obs is the execution observability layer: structured per-round
+// events, an atomic metrics registry, and trace exporters. The paper's
+// n + r bound is a claim about per-round behaviour — receive before send,
+// one receive per processor, contiguous DFS intervals — yet validators can
+// only assert it post-hoc. This package makes a running schedule watchable:
+// the executors in package schedule, fault and repair emit RoundObserver
+// events as they go, and the provided sinks aggregate them into per-round
+// progress curves (ProgressCollector), counters and histograms (Registry
+// via Instrument), and Chrome trace_event timelines (Tracer) loadable in
+// chrome://tracing or Perfetto.
+//
+// The layer is built to cost nothing when unused and almost nothing when
+// used: executors skip all emission behind a single nil check, and the hot
+// per-delivery path of every provided sink records through atomics only —
+// no locks, no allocation. Per-round and per-phase events may allocate
+// (they are O(rounds), not O(deliveries)).
+package obs
+
+// Outcome classifies what happened to one scheduled point-to-point
+// delivery. It is the canonical outcome enumeration; package fault aliases
+// its DeliveryOutcome to it.
+type Outcome uint8
+
+const (
+	// Delivered: the message arrived and was absorbed into the hold set.
+	Delivered Outcome = iota
+	// LostInFlight: the fault injector dropped the delivery on the link.
+	LostInFlight
+	// ReceiverDown: the transmission was sent but the receiver was crashed.
+	ReceiverDown
+	// SenderDown: the whole transmission was skipped because the sender was
+	// crashed; nothing entered the link.
+	SenderDown
+	// SenderMissing: the transmission was skipped because the sender never
+	// received the message (upstream fault propagation).
+	SenderMissing
+	// Superseded: the message arrived but the receiver had already accepted
+	// another delivery this round; the later arrival is discarded.
+	Superseded
+
+	// NumOutcomes is the number of Outcome values, for sizing counter arrays.
+	NumOutcomes = int(Superseded) + 1
+)
+
+var outcomeNames = [NumOutcomes]string{
+	"delivered", "lost_in_flight", "receiver_down",
+	"sender_down", "sender_missing", "superseded",
+}
+
+// String returns the snake_case outcome name used by exporters.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return "unknown"
+}
+
+// RoundStats aggregates the fate of one executed round's deliveries.
+type RoundStats struct {
+	// Delivered counts deliveries absorbed into hold sets this round.
+	Delivered int
+	// Dropped counts deliveries lost in flight (injector drops and crashed
+	// receivers) — the same notion the executors' dropped return value uses.
+	Dropped int
+	// Skipped counts deliveries never sent because the sender was crashed
+	// or never held the message (upstream fault propagation).
+	Skipped int
+	// Superseded counts same-round receiver conflicts discarded.
+	Superseded int
+	// NewPairs counts (processor, message) pairs newly held after the
+	// round — the round's contribution to the coverage progress curve.
+	NewPairs int
+}
+
+// add accumulates o into s.
+func (s *RoundStats) add(o RoundStats) {
+	s.Delivered += o.Delivered
+	s.Dropped += o.Dropped
+	s.Skipped += o.Skipped
+	s.Superseded += o.Superseded
+	s.NewPairs += o.NewPairs
+}
+
+// RepairStats describes one plan-execute-remeasure iteration of the repair
+// engine.
+type RepairStats struct {
+	// PlannedRounds is the number of rounds the iteration planned and ran.
+	PlannedRounds int
+	// DeficitBefore and DeficitAfter are the missing-pair counts on either
+	// side of the iteration.
+	DeficitBefore, DeficitAfter int
+	// Quarantined reports that the iteration's failures pushed the
+	// suspicion tracker past its threshold (a Quarantine event follows).
+	Quarantined bool
+}
+
+// RoundObserver receives structured events from an observed execution.
+// Executors call it with absolute round indices (repair rounds appended
+// after a T-round schedule report rounds T, T+1, ...), so one observer
+// spans an entire execute-repair pipeline.
+//
+// Implementations must be safe for concurrent use when shared across
+// executions; Delivery is the hot path (called once per point-to-point
+// delivery) and should avoid locks and allocation.
+type RoundObserver interface {
+	// BeginPhase/EndPhase bracket a named stage of the pipeline ("schedule",
+	// "repair", a sweep, ...). detail is free-form context for exporters.
+	BeginPhase(phase, detail string)
+	EndPhase(phase string)
+	// BeginRound/EndRound bracket one communication round; EndRound carries
+	// the round's aggregated delivery stats.
+	BeginRound(absRound int)
+	EndRound(absRound int, stats RoundStats)
+	// Delivery reports the fate of one scheduled delivery.
+	Delivery(absRound, from, to, msg int, outcome Outcome)
+	// RepairIteration reports one completed repair iteration.
+	RepairIteration(iter int, stats RepairStats)
+	// Quarantine reports an amputation of the survivor topology: the links
+	// and processors the repair engine diagnosed as permanently faulty.
+	Quarantine(iter int, links [][2]int, processors []int)
+}
+
+// Nop is an embeddable no-op RoundObserver: embed it to implement only the
+// events a sink cares about.
+type Nop struct{}
+
+func (Nop) BeginPhase(string, string)            {}
+func (Nop) EndPhase(string)                      {}
+func (Nop) BeginRound(int)                       {}
+func (Nop) EndRound(int, RoundStats)             {}
+func (Nop) Delivery(int, int, int, int, Outcome) {}
+func (Nop) RepairIteration(int, RepairStats)     {}
+func (Nop) Quarantine(int, [][2]int, []int)      {}
+
+// multi fans events out to several observers.
+type multi []RoundObserver
+
+func (m multi) BeginPhase(phase, detail string) {
+	for _, o := range m {
+		o.BeginPhase(phase, detail)
+	}
+}
+func (m multi) EndPhase(phase string) {
+	for _, o := range m {
+		o.EndPhase(phase)
+	}
+}
+func (m multi) BeginRound(absRound int) {
+	for _, o := range m {
+		o.BeginRound(absRound)
+	}
+}
+func (m multi) EndRound(absRound int, stats RoundStats) {
+	for _, o := range m {
+		o.EndRound(absRound, stats)
+	}
+}
+func (m multi) Delivery(absRound, from, to, msg int, outcome Outcome) {
+	for _, o := range m {
+		o.Delivery(absRound, from, to, msg, outcome)
+	}
+}
+func (m multi) RepairIteration(iter int, stats RepairStats) {
+	for _, o := range m {
+		o.RepairIteration(iter, stats)
+	}
+}
+func (m multi) Quarantine(iter int, links [][2]int, processors []int) {
+	for _, o := range m {
+		o.Quarantine(iter, links, processors)
+	}
+}
+
+// Multi combines observers into one that fans every event out in order.
+// Nil entries are dropped; Multi returns nil when nothing remains (so the
+// executors' nil fast path still applies) and the observer itself when
+// exactly one remains.
+func Multi(observers ...RoundObserver) RoundObserver {
+	var out multi
+	for _, o := range observers {
+		if o != nil {
+			out = append(out, o)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOutcomeString(t *testing.T) {
+	want := map[Outcome]string{
+		Delivered:     "delivered",
+		LostInFlight:  "lost_in_flight",
+		ReceiverDown:  "receiver_down",
+		SenderDown:    "sender_down",
+		SenderMissing: "sender_missing",
+		Superseded:    "superseded",
+	}
+	if len(want) != NumOutcomes {
+		t.Fatalf("test covers %d outcomes, NumOutcomes is %d", len(want), NumOutcomes)
+	}
+	for o, name := range want {
+		if o.String() != name {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, o.String(), name)
+		}
+	}
+	if got := Outcome(99).String(); got != "unknown" {
+		t.Errorf("out-of-range outcome stringifies as %q, want unknown", got)
+	}
+}
+
+// eventLog records raw events for fan-out assertions.
+type eventLog struct {
+	Nop
+	mu     sync.Mutex
+	events []string
+}
+
+func (l *eventLog) BeginRound(r int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, "begin")
+}
+
+func (l *eventLog) Delivery(_, _, _, _ int, o Outcome) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, o.String())
+}
+
+func TestMultiDropsNilsAndCollapses(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) should be nil")
+	}
+	a := &eventLog{}
+	if got := Multi(nil, a, nil); got != RoundObserver(a) {
+		t.Error("Multi with one live observer should return it unwrapped")
+	}
+	b := &eventLog{}
+	m := Multi(a, b)
+	m.BeginRound(0)
+	m.Delivery(0, 1, 2, 3, LostInFlight)
+	m.EndRound(0, RoundStats{})
+	m.BeginPhase("p", "d")
+	m.EndPhase("p")
+	m.RepairIteration(0, RepairStats{})
+	m.Quarantine(0, nil, nil)
+	for name, l := range map[string]*eventLog{"a": a, "b": b} {
+		if len(l.events) != 2 || l.events[0] != "begin" || l.events[1] != "lost_in_flight" {
+			t.Errorf("observer %s saw %v, want [begin lost_in_flight]", name, l.events)
+		}
+	}
+}
+
+func TestProgressCollectorCurve(t *testing.T) {
+	// An execution starting with 3 of 9 pairs held: round 0 delivers 2 new
+	// pairs, round 2 delivers 1 (round 1 never reported — attached
+	// mid-pipeline), and round 0 is executed twice (schedule + repair reuse
+	// of the index) adding 1 more.
+	c := NewProgressCollector(3, 9)
+	c.EndRound(0, RoundStats{Delivered: 2, NewPairs: 2})
+	c.EndRound(2, RoundStats{Delivered: 3, NewPairs: 1, Dropped: 1})
+	c.EndRound(0, RoundStats{Delivered: 1, NewPairs: 1})
+	c.EndRound(-1, RoundStats{NewPairs: 100}) // ignored
+	curve := c.Curve()
+	if len(curve) != 2 {
+		t.Fatalf("curve has %d points, want 2 (round 1 unobserved): %+v", len(curve), curve)
+	}
+	r0, r2 := curve[0], curve[1]
+	if r0.Round != 0 || r0.Delivered != 3 || r0.NewPairs != 3 || r0.Held != 6 {
+		t.Errorf("round 0 point %+v, want merged Delivered 3, NewPairs 3, Held 6", r0)
+	}
+	if math.Abs(r0.Coverage-6.0/9.0) > 1e-12 {
+		t.Errorf("round 0 coverage %v, want 6/9", r0.Coverage)
+	}
+	if r2.Round != 2 || r2.Held != 7 || r2.Dropped != 1 {
+		t.Errorf("round 2 point %+v, want Held 7, Dropped 1", r2)
+	}
+	if math.Abs(r2.Coverage-7.0/9.0) > 1e-12 {
+		t.Errorf("round 2 coverage %v, want 7/9", r2.Coverage)
+	}
+}
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if r.Counter("c") != c {
+		t.Error("Counter lookup not idempotent")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	h := r.Histogram("h", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 5, 100} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	if s.Counters["c"] != 5 {
+		t.Errorf("counter = %d, want 5", s.Counters["c"])
+	}
+	if s.Gauges["g"] != 5 {
+		t.Errorf("gauge = %d, want 5", s.Gauges["g"])
+	}
+	hs := s.Histograms["h"]
+	if hs.Count != 4 || hs.Sum != 106.5 {
+		t.Errorf("histogram count %d sum %v, want 4 and 106.5", hs.Count, hs.Sum)
+	}
+	// Buckets are per-bucket counts: le=1 gets {0.5, 1}, le=10 gets {5},
+	// +Inf gets {100}.
+	if len(hs.Counts) != 3 || hs.Counts[0] != 2 || hs.Counts[1] != 1 || hs.Counts[2] != 1 {
+		t.Errorf("bucket counts %v, want [2 1 1]", hs.Counts)
+	}
+}
+
+func TestRegistryConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits")
+			h := r.Histogram("lat", DefaultRoundBuckets)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 50))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["hits"] != 8000 {
+		t.Errorf("hits = %d, want 8000", s.Counters["hits"])
+	}
+	if s.Histograms["lat"].Count != 8000 {
+		t.Errorf("observations = %d, want 8000", s.Histograms["lat"].Count)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gossip_delivered_total").Add(12)
+	r.Gauge("gossip_live").Set(3)
+	h := r.Histogram("gossip_round_delivered", []float64{1, 2})
+	h.Observe(1)
+	h.Observe(1.5)
+	h.Observe(9)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE gossip_delivered_total counter\ngossip_delivered_total 12\n",
+		"# TYPE gossip_live gauge\ngossip_live 3\n",
+		"# TYPE gossip_round_delivered histogram\n",
+		"gossip_round_delivered_bucket{le=\"1\"} 1\n",
+		"gossip_round_delivered_bucket{le=\"2\"} 2\n",
+		"gossip_round_delivered_bucket{le=\"+Inf\"} 3\n",
+		"gossip_round_delivered_sum 11.5\n",
+		"gossip_round_delivered_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInstrumentRecordsEvents(t *testing.T) {
+	r := NewRegistry()
+	ins := Instrument(r)
+	ins.BeginRound(0)
+	ins.Delivery(0, 1, 2, 3, Delivered)
+	ins.Delivery(0, 4, 5, 6, LostInFlight)
+	ins.EndRound(0, RoundStats{Delivered: 1, Dropped: 1, NewPairs: 1})
+	ins.BeginRound(1)
+	ins.Delivery(1, 1, 2, 3, Delivered)
+	ins.EndRound(1, RoundStats{Delivered: 1, Skipped: 2, Superseded: 1, NewPairs: 1})
+	ins.RepairIteration(0, RepairStats{PlannedRounds: 4})
+	ins.Quarantine(0, [][2]int{{0, 1}}, []int{5, 6})
+	s := r.Snapshot()
+	want := map[string]int64{
+		"gossip_rounds_total":                 2,
+		"gossip_delivered_total":              2,
+		"gossip_dropped_total":                1,
+		"gossip_skipped_total":                2,
+		"gossip_superseded_total":             1,
+		"gossip_new_pairs_total":              2,
+		"gossip_outcome_delivered_total":      2,
+		"gossip_outcome_lost_in_flight_total": 1,
+		"gossip_repair_iterations_total":      1,
+		"gossip_repair_rounds_total":          4,
+		"gossip_quarantined_links_total":      1,
+		"gossip_quarantined_processors_total": 2,
+	}
+	for name, v := range want {
+		if s.Counters[name] != v {
+			t.Errorf("%s = %d, want %d", name, s.Counters[name], v)
+		}
+	}
+	if s.Histograms["gossip_round_delivered"].Count != 2 {
+		t.Errorf("round histogram count %d, want 2", s.Histograms["gossip_round_delivered"].Count)
+	}
+}
+
+func TestTracerTimelineAndChromeExport(t *testing.T) {
+	tr := NewTracer()
+	// Deterministic clock: each call advances 1ms.
+	var tick time.Duration
+	base := tr.start
+	tr.now = func() time.Time {
+		tick += time.Millisecond
+		return base.Add(tick)
+	}
+	tr.BeginPhase("schedule", "ConcurrentUpDown")
+	tr.BeginRound(0)
+	tr.Delivery(0, 0, 1, 0, Delivered)
+	tr.Delivery(0, 1, 2, 1, LostInFlight)
+	tr.EndRound(0, RoundStats{Delivered: 1, Dropped: 1, NewPairs: 1})
+	tr.BeginRound(1)
+	tr.EndRound(1, RoundStats{Delivered: 2, NewPairs: 2})
+	tr.EndPhase("schedule")
+	tr.RepairIteration(0, RepairStats{PlannedRounds: 3, DeficitBefore: 2, DeficitAfter: 0})
+	tr.Quarantine(1, [][2]int{{2, 3}}, []int{4})
+	tr.EndRound(7, RoundStats{}) // unmatched: zero-length span
+	tr.EndPhase("ghost")         // unmatched: zero-length span
+
+	if got := tr.OutcomeTotals(); got[Delivered] != 1 || got[LostInFlight] != 1 {
+		t.Errorf("outcome totals %v", got)
+	}
+	if total := tr.RoundTotals(); total.Delivered != 3 || total.Dropped != 1 || total.NewPairs != 3 {
+		t.Errorf("round totals %+v", total)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	counts := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		counts[e.Ph+"/"+e.Name]++
+	}
+	for key, want := range map[string]int{
+		"X/schedule":         1,
+		"X/ghost":            1,
+		"X/round":            3,
+		"C/deliveries":       3,
+		"i/repair-iteration": 1,
+		"i/quarantine":       1,
+	} {
+		if counts[key] != want {
+			t.Errorf("%s events: %d, want %d (all: %v)", key, counts[key], want, counts)
+		}
+	}
+	// Spot-check the round args survive the round trip.
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "round" && e.Args["round"] == float64(0) {
+			if e.Args["delivered"] != float64(1) || e.Args["dropped"] != float64(1) {
+				t.Errorf("round 0 args %v", e.Args)
+			}
+		}
+		if e.Ph == "X" && e.Name == "schedule" {
+			if e.Dur <= 0 {
+				t.Errorf("schedule span has non-positive duration %v", e.Dur)
+			}
+			if e.Args["detail"] != "ConcurrentUpDown" {
+				t.Errorf("schedule detail %v", e.Args["detail"])
+			}
+		}
+	}
+}

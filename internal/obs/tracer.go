@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer is a RoundObserver that records a timeline of phases, rounds,
+// repair iterations and quarantines and exports it in the Chrome
+// trace_event JSON format, loadable in chrome://tracing and Perfetto.
+//
+// Per-delivery events are not individually recorded — a ring at n = 1024
+// already carries ~10⁶ deliveries, which no trace viewer wants — they are
+// folded into lock-free per-outcome totals (OutcomeTotals) and into the
+// per-round RoundStats arriving with EndRound. The round records are
+// stored as fixed-size structs in a growable slice, so steady-state
+// recording allocates only on slice growth; JSON is built at export time.
+//
+// A Tracer is safe for concurrent use. Rounds of concurrent executions
+// sharing a Tracer are merged by round index at export.
+type Tracer struct {
+	mu         sync.Mutex
+	start      time.Time
+	now        func() time.Time
+	rounds     []roundSpan
+	phases     []phaseSpan
+	repairs    []repairMark
+	quars      []quarantineMark
+	openRounds map[int]time.Duration
+	openPhases map[string]openPhase
+	outcomes   [NumOutcomes]atomic.Int64
+}
+
+type roundSpan struct {
+	round      int
+	begin, end time.Duration
+	stats      RoundStats
+}
+
+type phaseSpan struct {
+	name, detail string
+	begin, end   time.Duration
+}
+
+type openPhase struct {
+	detail string
+	begin  time.Duration
+}
+
+type repairMark struct {
+	iter  int
+	at    time.Duration
+	stats RepairStats
+}
+
+type quarantineMark struct {
+	iter  int
+	at    time.Duration
+	links [][2]int
+	procs []int
+}
+
+// NewTracer returns an empty tracer whose clock starts now.
+func NewTracer() *Tracer {
+	t := &Tracer{
+		now:        time.Now,
+		openRounds: make(map[int]time.Duration),
+		openPhases: make(map[string]openPhase),
+	}
+	t.start = t.now()
+	return t
+}
+
+func (t *Tracer) since() time.Duration { return t.now().Sub(t.start) }
+
+// BeginPhase implements RoundObserver.
+func (t *Tracer) BeginPhase(phase, detail string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.openPhases[phase] = openPhase{detail: detail, begin: t.since()}
+}
+
+// EndPhase implements RoundObserver. An EndPhase without a matching
+// BeginPhase is recorded as a zero-length span ending now.
+func (t *Tracer) EndPhase(phase string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.since()
+	open, ok := t.openPhases[phase]
+	if !ok {
+		open = openPhase{begin: end}
+	}
+	delete(t.openPhases, phase)
+	t.phases = append(t.phases, phaseSpan{name: phase, detail: open.detail, begin: open.begin, end: end})
+}
+
+// BeginRound implements RoundObserver.
+func (t *Tracer) BeginRound(absRound int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.openRounds[absRound] = t.since()
+}
+
+// EndRound implements RoundObserver.
+func (t *Tracer) EndRound(absRound int, stats RoundStats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.since()
+	begin, ok := t.openRounds[absRound]
+	if !ok {
+		begin = end
+	}
+	delete(t.openRounds, absRound)
+	t.rounds = append(t.rounds, roundSpan{round: absRound, begin: begin, end: end, stats: stats})
+}
+
+// Delivery implements RoundObserver: the hot path, an atomic add only.
+func (t *Tracer) Delivery(_, _, _, _ int, outcome Outcome) {
+	if int(outcome) < NumOutcomes {
+		t.outcomes[outcome].Add(1)
+	}
+}
+
+// RepairIteration implements RoundObserver.
+func (t *Tracer) RepairIteration(iter int, stats RepairStats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.repairs = append(t.repairs, repairMark{iter: iter, at: t.since(), stats: stats})
+}
+
+// Quarantine implements RoundObserver.
+func (t *Tracer) Quarantine(iter int, links [][2]int, processors []int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.quars = append(t.quars, quarantineMark{
+		iter:  iter,
+		at:    t.since(),
+		links: append([][2]int(nil), links...),
+		procs: append([]int(nil), processors...),
+	})
+}
+
+// OutcomeTotals returns the total per-outcome delivery counts observed so
+// far, indexed by Outcome.
+func (t *Tracer) OutcomeTotals() [NumOutcomes]int64 {
+	var out [NumOutcomes]int64
+	for i := range out {
+		out[i] = t.outcomes[i].Load()
+	}
+	return out
+}
+
+// RoundTotals returns the RoundStats summed over every recorded round.
+func (t *Tracer) RoundTotals() RoundStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total RoundStats
+	for _, r := range t.rounds {
+		total.add(r.stats)
+	}
+	return total
+}
+
+// traceEvent is one entry of the Chrome trace_event format's JSON array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON object format of the trace_event specification.
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const (
+	tracePid    = 1
+	tidPhases   = 1
+	tidRounds   = 2
+	tidRepair   = 3
+	counterName = "deliveries"
+)
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChromeTrace exports the recorded timeline as trace_event JSON:
+// phase spans and round spans as complete ("X") events, one counter ("C")
+// sample per round carrying the round's delivered/dropped/new-pair totals,
+// and repair iterations and quarantines as instant ("i") events. Load the
+// output in chrome://tracing or https://ui.perfetto.dev.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	t.mu.Lock()
+	events := make([]traceEvent, 0, len(t.phases)+2*len(t.rounds)+len(t.repairs)+len(t.quars)+3)
+	for _, p := range t.phases {
+		events = append(events, traceEvent{
+			Name: p.name, Cat: "phase", Ph: "X",
+			Ts: us(p.begin), Dur: us(p.end - p.begin),
+			Pid: tracePid, Tid: tidPhases,
+			Args: map[string]any{"detail": p.detail},
+		})
+	}
+	for _, r := range t.rounds {
+		events = append(events,
+			traceEvent{
+				Name: "round", Cat: "round", Ph: "X",
+				Ts: us(r.begin), Dur: us(r.end - r.begin),
+				Pid: tracePid, Tid: tidRounds,
+				Args: map[string]any{
+					"round":      r.round,
+					"delivered":  r.stats.Delivered,
+					"dropped":    r.stats.Dropped,
+					"skipped":    r.stats.Skipped,
+					"superseded": r.stats.Superseded,
+					"new_pairs":  r.stats.NewPairs,
+				},
+			},
+			traceEvent{
+				Name: counterName, Ph: "C",
+				Ts:  us(r.end),
+				Pid: tracePid, Tid: tidRounds,
+				Args: map[string]any{
+					"delivered": r.stats.Delivered,
+					"dropped":   r.stats.Dropped,
+				},
+			},
+		)
+	}
+	for _, m := range t.repairs {
+		events = append(events, traceEvent{
+			Name: "repair-iteration", Cat: "repair", Ph: "i",
+			Ts:  us(m.at),
+			Pid: tracePid, Tid: tidRepair, S: "t",
+			Args: map[string]any{
+				"iteration":      m.iter,
+				"planned_rounds": m.stats.PlannedRounds,
+				"deficit_before": m.stats.DeficitBefore,
+				"deficit_after":  m.stats.DeficitAfter,
+				"quarantined":    m.stats.Quarantined,
+			},
+		})
+	}
+	for _, q := range t.quars {
+		events = append(events, traceEvent{
+			Name: "quarantine", Cat: "repair", Ph: "i",
+			Ts:  us(q.at),
+			Pid: tracePid, Tid: tidRepair, S: "g",
+			Args: map[string]any{
+				"iteration":  q.iter,
+				"links":      q.links,
+				"processors": q.procs,
+			},
+		})
+	}
+	t.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -23,6 +23,7 @@ import (
 
 	"multigossip/internal/fault"
 	"multigossip/internal/graph"
+	"multigossip/internal/obs"
 	"multigossip/internal/schedule"
 )
 
@@ -160,6 +161,12 @@ type Options struct {
 	// RecordPlans retains every executed repair batch in Outcome.Plans, for
 	// tests and tooling that audit what was planned when.
 	RecordPlans bool
+	// Observer, when non-nil, receives the structured events of the
+	// observability layer: the round events of every executed repair batch
+	// (absolute indices continuing from RoundOffset), one RepairIteration
+	// event per plan-execute iteration, and a Quarantine event per
+	// amputation.
+	Observer obs.RoundObserver
 }
 
 // Outcome reports what a repair run achieved.
@@ -272,7 +279,7 @@ loop:
 			}
 		}
 		susp.beginIteration()
-		next, dropped, err := fault.ExecuteObserved(g, plan, opts.Injector, cur, offset, susp.observe)
+		next, dropped, err := fault.ExecuteTraced(g, plan, opts.Injector, cur, offset, susp.observe, opts.Observer)
 		if err != nil {
 			return out, fmt.Errorf("repair: %w", err)
 		}
@@ -285,6 +292,21 @@ loop:
 		}
 		newLinks, newProcs := susp.endIteration()
 		quarantined := len(newLinks) > 0 || len(newProcs) > 0
+		if opts.Observer != nil {
+			opts.Observer.RepairIteration(it, obs.RepairStats{
+				PlannedRounds: plan.Time(),
+				DeficitBefore: deficit,
+				DeficitAfter:  MissingPairs(next),
+				Quarantined:   quarantined,
+			})
+			if quarantined {
+				links := make([][2]int, len(newLinks))
+				for i, e := range newLinks {
+					links[i] = [2]int{e.U, e.V}
+				}
+				opts.Observer.Quarantine(it, links, newProcs)
+			}
+		}
 		if quarantined {
 			out.Quarantines = append(out.Quarantines, QuarantineEvent{
 				Iteration: it, Links: newLinks, Processors: newProcs,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"multigossip/internal/graph"
+	"multigossip/internal/obs"
 )
 
 // Options configure validation and simulation.
@@ -21,6 +22,11 @@ type Options struct {
 	// round. Zero means 1, the paper's model; larger values validate the
 	// k-port extension studied in experiment E27.
 	RecvPorts int
+	// Observer, when non-nil, receives BeginRound/EndRound events (with
+	// aggregated RoundStats) and per-delivery Delivered events as the
+	// simulation advances — the fault-free side of the observability layer.
+	// Round indices are the schedule's own (no offset).
+	Observer obs.RoundObserver
 }
 
 // Result reports the outcome of simulating a schedule.
@@ -65,7 +71,12 @@ func Run(g *graph.Graph, s *Schedule, opts Options) (*Result, error) {
 		sentBy[i] = -1
 		recvBy[i] = -1
 	}
+	ro := opts.Observer
 	for t, round := range s.Rounds {
+		if ro != nil {
+			ro.BeginRound(t)
+		}
+		var stats obs.RoundStats
 		// Check the round before applying its deliveries: sends at time t
 		// use hold sets that already absorbed deliveries from round t-1.
 		for _, tx := range round {
@@ -117,8 +128,18 @@ func Run(g *graph.Graph, s *Schedule, opts Options) (*Result, error) {
 		// Apply deliveries: messages sent at round t are held from time t+1.
 		for _, tx := range round {
 			for _, d := range tx.To {
+				if ro != nil {
+					if !holds[d].Has(tx.Msg) {
+						stats.NewPairs++
+					}
+					stats.Delivered++
+					ro.Delivery(t, tx.From, d, tx.Msg, obs.Delivered)
+				}
 				holds[d].Set(tx.Msg)
 			}
+		}
+		if ro != nil {
+			ro.EndRound(t, stats)
 		}
 		if res.CompleteAt == -1 && allFull(holds) {
 			res.CompleteAt = t + 1

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"multigossip/internal/core"
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// golden compares got against testdata/<name>.golden, rewriting the file
+// instead when -update is set.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test ./internal/trace -run Golden -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s: rendering drifted from golden file\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// fig5Schedule rebuilds the paper's running example: the Fig. 5 labelled
+// tree (16 vertices, height 3) under ConcurrentUpDown, 19 rounds.
+func fig5Schedule(t *testing.T) (*spantree.Labeled, *schedule.Schedule) {
+	t.Helper()
+	l := spantree.Label(spantree.MustFromParents(graph.Fig5TreeParents()))
+	s := core.BuildConcurrentUpDown(l)
+	if s.Time() != 19 {
+		t.Fatalf("Fig. 5 schedule takes %d rounds, want n + r = 19", s.Time())
+	}
+	return l, s
+}
+
+// TestGoldenPaperTimetables pins the exact rendering of the paper's
+// Tables 1-4: the per-vertex ConcurrentUpDown timetables of the vertices
+// holding messages 0 (the root), 1, 4 and 8 in the Fig. 5 tree.
+func TestGoldenPaperTimetables(t *testing.T) {
+	l, s := fig5Schedule(t)
+	for _, tc := range []struct {
+		name   string
+		vertex int
+	}{
+		{"table1_vertex0", 0},
+		{"table2_vertex1", 1},
+		{"table3_vertex4", 4},
+		{"table4_vertex8", 8},
+	} {
+		golden(t, tc.name, FormatTimetable(schedule.VertexView(s, l.T, tc.vertex)))
+	}
+}
+
+// TestGoldenFig5Tree pins the ASCII rendering of the Fig. 5 tree with its
+// DFS message labels and levels.
+func TestGoldenFig5Tree(t *testing.T) {
+	l, _ := fig5Schedule(t)
+	out := FormatTree(l.T, func(v int) string {
+		return fmt.Sprintf("[msg %d, level %d]", l.LabelOf[v], l.T.Level[v])
+	})
+	golden(t, "fig5_tree", out)
+}
+
+// TestGoldenFig5Rounds pins the round-by-round rendering of the full
+// 19-round Fig. 5 schedule.
+func TestGoldenFig5Rounds(t *testing.T) {
+	_, s := fig5Schedule(t)
+	golden(t, "fig5_rounds", FormatRounds(s))
+}

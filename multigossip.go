@@ -50,6 +50,17 @@ const (
 	Simple
 )
 
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case ConcurrentUpDown:
+		return "ConcurrentUpDown"
+	case Simple:
+		return "Simple"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
 // Network is a communication network under construction: processors are
 // 0..n-1 and links are added with AddLink.
 type Network struct {

@@ -1,0 +1,240 @@
+package multigossip
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestExecuteTracedFaultFree checks the fault-free traced path: the
+// progress curve is monotone, ends at full coverage exactly at CompleteAt,
+// and the delivery total matches n(n-1) for ConcurrentUpDown (no waste).
+func TestExecuteTracedFaultFree(t *testing.T) {
+	nw := Ring(16)
+	plan, err := nw.PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := NewTracer()
+	rep, err := plan.ExecuteTraced(tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := nw.Processors()
+	if rep.Rounds != plan.Rounds() {
+		t.Errorf("Rounds = %d, want %d", rep.Rounds, plan.Rounds())
+	}
+	if rep.WastedDeliveries != 0 {
+		t.Errorf("ConcurrentUpDown wasted %d deliveries, want 0", rep.WastedDeliveries)
+	}
+	if rep.Deliveries != n*(n-1) {
+		t.Errorf("Deliveries = %d, want n(n-1) = %d", rep.Deliveries, n*(n-1))
+	}
+	if rep.CompleteAt != plan.Rounds() {
+		t.Errorf("CompleteAt = %d, want %d (every round of n + r is load-bearing)", rep.CompleteAt, plan.Rounds())
+	}
+	curve := rep.ProgressCurve
+	if len(curve) != rep.Rounds {
+		t.Fatalf("curve has %d points, want one per round (%d)", len(curve), rep.Rounds)
+	}
+	prev := n
+	for _, pt := range curve {
+		if pt.Held < prev {
+			t.Fatalf("coverage regressed at round %d: %d < %d", pt.Round, pt.Held, prev)
+		}
+		prev = pt.Held
+	}
+	if last := curve[len(curve)-1]; last.Held != n*n || last.Coverage != 1 {
+		t.Errorf("final point Held %d Coverage %v, want %d and 1", last.Held, last.Coverage, n*n)
+	}
+	// The attached tracer saw the same execution.
+	if totals := tracer.RoundTotals(); totals.Delivered != rep.Deliveries {
+		t.Errorf("tracer saw %d deliveries, report says %d", totals.Delivered, rep.Deliveries)
+	}
+	if outs := tracer.OutcomeTotals(); outs[Delivered] != int64(rep.Deliveries) {
+		t.Errorf("tracer outcome totals %v, want %d delivered", outs, rep.Deliveries)
+	}
+	// A nil observer works and agrees.
+	rep2, err := plan.ExecuteTraced(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Deliveries != rep.Deliveries || len(rep2.ProgressCurve) != len(rep.ProgressCurve) {
+		t.Error("nil-observer trace disagrees with observed trace")
+	}
+}
+
+// chromeDoc is the subset of the trace_event JSON the reconciliation test
+// reads back.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestChromeTraceReconcilesWithFaultReport is the acceptance check of the
+// observability layer: a ring n=1024 execution under link loss with repair
+// exports a Chrome trace whose per-round counter samples reconcile exactly
+// with the FaultReport — summed drops equal Dropped, summed new pairs
+// equal the coverage gain, and the metrics registry agrees with both.
+func TestChromeTraceReconcilesWithFaultReport(t *testing.T) {
+	const n = 1024
+	nw := Ring(n)
+	plan, err := nw.PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := NewTracer()
+	metrics := NewMetrics()
+	rep, err := plan.ExecuteWithFaults(
+		WithLinkLoss(0.01, 7),
+		WithObserver(tracer),
+		WithObserver(InstrumentMetrics(metrics)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatalf("repair left the ring incomplete: %+v", rep)
+	}
+	if rep.Dropped == 0 {
+		t.Fatal("1% loss on ~10^6 deliveries dropped nothing; the injector is not firing")
+	}
+
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	// Reconcile the per-round counter samples against the report.
+	var sumDelivered, sumDropped, rounds int
+	var phases []string
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "C" && e.Name == "deliveries":
+			sumDelivered += int(e.Args["delivered"].(float64))
+			sumDropped += int(e.Args["dropped"].(float64))
+			rounds++
+		case e.Ph == "X" && (e.Name == "schedule" || e.Name == "repair"):
+			phases = append(phases, e.Name)
+		}
+	}
+	if len(phases) != 2 {
+		t.Errorf("phase spans %v, want [schedule repair] (in some order)", phases)
+	}
+	if rounds != rep.TotalRounds {
+		t.Errorf("trace has %d round counter samples, report ran %d rounds", rounds, rep.TotalRounds)
+	}
+	if sumDropped != rep.Dropped {
+		t.Errorf("trace drops sum to %d, FaultReport.Dropped = %d", sumDropped, rep.Dropped)
+	}
+
+	// The tracer's aggregate views agree with its own export and the report.
+	totals := tracer.RoundTotals()
+	if totals.Delivered != sumDelivered || totals.Dropped != sumDropped {
+		t.Errorf("RoundTotals %+v disagree with exported sums (%d, %d)", totals, sumDelivered, sumDropped)
+	}
+	outs := tracer.OutcomeTotals()
+	if int(outs[Delivered]) != sumDelivered {
+		t.Errorf("per-delivery outcome total %d != per-round delivered sum %d", outs[Delivered], sumDelivered)
+	}
+	if dropOutcomes := int(outs[LostInFlight] + outs[ReceiverDown]); dropOutcomes != rep.Dropped {
+		t.Errorf("lost+receiver-down outcomes %d != Dropped %d", dropOutcomes, rep.Dropped)
+	}
+
+	// New pairs must account exactly for the coverage gain: the execution
+	// started with n pairs held and ended complete at n².
+	if totals.NewPairs != n*n-n {
+		t.Errorf("trace new pairs %d, want n²-n = %d", totals.NewPairs, n*n-n)
+	}
+	curve := rep.ProgressCurve
+	if len(curve) != rep.TotalRounds {
+		t.Fatalf("progress curve has %d points, want %d", len(curve), rep.TotalRounds)
+	}
+	if last := curve[len(curve)-1]; last.Held != n*n || math.Abs(last.Coverage-1) > 1e-12 {
+		t.Errorf("curve ends at Held %d Coverage %v, want complete", last.Held, last.Coverage)
+	}
+
+	// And the Prometheus-side counters agree with everything above.
+	snap := metrics.Snapshot()
+	if got := snap.Counters["gossip_delivered_total"]; got != int64(sumDelivered) {
+		t.Errorf("gossip_delivered_total = %d, want %d", got, sumDelivered)
+	}
+	if got := snap.Counters["gossip_dropped_total"]; got != int64(rep.Dropped) {
+		t.Errorf("gossip_dropped_total = %d, want %d", got, rep.Dropped)
+	}
+	if got := snap.Counters["gossip_new_pairs_total"]; got != int64(n*n-n) {
+		t.Errorf("gossip_new_pairs_total = %d, want %d", got, n*n-n)
+	}
+	if got := snap.Counters["gossip_rounds_total"]; got != int64(rep.TotalRounds) {
+		t.Errorf("gossip_rounds_total = %d, want %d", got, rep.TotalRounds)
+	}
+	if got := snap.Counters["gossip_repair_iterations_total"]; got != int64(rep.RepairIterations) {
+		t.Errorf("gossip_repair_iterations_total = %d, want %d", got, rep.RepairIterations)
+	}
+}
+
+// TestFaultReportProgressCurveWithoutObserver checks the curve is always
+// collected, and that a fault-free faulty-API run reports a clean curve.
+func TestFaultReportProgressCurveWithoutObserver(t *testing.T) {
+	plan, err := Ring(12).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := plan.ExecuteWithFaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete || rep.Dropped != 0 {
+		t.Fatalf("fault-free run reported %+v", rep)
+	}
+	if len(rep.ProgressCurve) != rep.ScheduleRounds {
+		t.Fatalf("curve has %d points, want %d", len(rep.ProgressCurve), rep.ScheduleRounds)
+	}
+	for _, pt := range rep.ProgressCurve {
+		if pt.Dropped != 0 || pt.Skipped != 0 {
+			t.Errorf("round %d reports drops in a fault-free run: %+v", pt.Round, pt)
+		}
+		if pt.NewPairs != pt.Delivered {
+			t.Errorf("round %d: %d new pairs != %d deliveries (ConcurrentUpDown never wastes)", pt.Round, pt.NewPairs, pt.Delivered)
+		}
+	}
+	// Quarantine events surface through WithObserver on a permanent fault.
+	tracer := NewTracer()
+	rep, err = plan.ExecuteWithFaults(WithCrashStop(3, 0), WithObserver(tracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.DownProcessors) != 1 || rep.DownProcessors[0] != 3 {
+		t.Fatalf("crash-stop not quarantined: %+v", rep)
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	sawQuarantine := false
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "i" && e.Name == "quarantine" {
+			sawQuarantine = true
+		}
+	}
+	if !sawQuarantine {
+		t.Error("no quarantine instant event in the trace of a crash-stop run")
+	}
+}

@@ -1,0 +1,95 @@
+package multigossip
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentTracedExecutions hammers one shared Plan from many
+// goroutines mixing the fault-free traced path, faulty executions with
+// repair, and plain verification, all recording into one shared Tracer and
+// one shared Metrics registry while other goroutines concurrently snapshot
+// and export them. Run under -race (make check does) this is the data-race
+// certificate for the observability layer.
+func TestConcurrentTracedExecutions(t *testing.T) {
+	nw := Ring(24)
+	plan, err := nw.PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := nw.Processors()
+	tracer := NewTracer()
+	metrics := NewMetrics()
+	instrument := InstrumentMetrics(metrics)
+	shared := MultiObserver(tracer, instrument)
+
+	const workers = 4
+	const iters = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters*3)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := plan.ExecuteTraced(shared); err != nil {
+					errs <- err
+				}
+				if _, err := plan.ExecuteWithFaults(
+					WithLinkLoss(0.02, int64(w*100+i)),
+					WithObserver(shared),
+				); err != nil {
+					errs <- err
+				}
+				if err := plan.Verify(); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers: snapshots and exports while executions record.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = metrics.Snapshot()
+			_ = tracer.OutcomeTotals()
+			_ = tracer.RoundTotals()
+			var buf bytes.Buffer
+			if err := tracer.WriteChromeTrace(&buf); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every fault-free pass delivers n(n-1) pairs; the faulty passes add a
+	// nondeterministic amount on top, so assert the exact floor.
+	runs := workers * iters
+	snap := metrics.Snapshot()
+	if min := int64(runs * n * (n - 1)); snap.Counters["gossip_delivered_total"] < min {
+		t.Errorf("gossip_delivered_total = %d, want >= %d", snap.Counters["gossip_delivered_total"], min)
+	}
+	if snap.Counters["gossip_outcome_lost_in_flight_total"] == 0 {
+		t.Error("no lost deliveries recorded despite 2% link loss")
+	}
+	if totals := tracer.RoundTotals(); int64(totals.Delivered) != snap.Counters["gossip_delivered_total"] {
+		t.Errorf("tracer delivered %d, metrics %d — the shared sinks diverged",
+			totals.Delivered, snap.Counters["gossip_delivered_total"])
+	}
+}

@@ -1,0 +1,141 @@
+package multigossip
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStreamSummaryExactPathNamedTopologies checks the exhaustive-tree
+// stream path on named topologies: the streamed plan takes exactly
+// n + height rounds, the tree height is the network radius (so ExactTree
+// holds by construction), and the counts are internally consistent.
+func TestStreamSummaryExactPathNamedTopologies(t *testing.T) {
+	cases := []struct {
+		name string
+		nw   *Network
+	}{
+		{"ring9", Ring(9)},
+		{"line7", Line(7)},
+		{"star8", Star(8)},
+		{"mesh4x4", Mesh(4, 4)},
+		{"hypercube4", Hypercube(4)},
+		{"petersen", PetersenGraph()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sum, err := tc.nw.GossipStreamSummary(false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := tc.nw.Processors()
+			if sum.Processors != n {
+				t.Errorf("Processors = %d, want %d", sum.Processors, n)
+			}
+			if !sum.ExactTree {
+				t.Error("exhaustive construction must report ExactTree")
+			}
+			if sum.TreeHeight != tc.nw.Radius() {
+				t.Errorf("TreeHeight = %d, want radius %d", sum.TreeHeight, tc.nw.Radius())
+			}
+			if sum.Rounds != n+sum.TreeHeight {
+				t.Errorf("Rounds = %d, want n + height = %d", sum.Rounds, n+sum.TreeHeight)
+			}
+			// Streaming must agree with the materialised plan on the total.
+			plan, err := tc.nw.PlanGossip()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum.Rounds != plan.Rounds() {
+				t.Errorf("streamed Rounds = %d, materialised plan has %d", sum.Rounds, plan.Rounds())
+			}
+			// Every processor learns the other n-1 messages exactly once.
+			if want := n * (n - 1); sum.Deliveries != want {
+				t.Errorf("Deliveries = %d, want n(n-1) = %d", sum.Deliveries, want)
+			}
+			if sum.Transmissions <= 0 || sum.Transmissions > sum.Deliveries {
+				t.Errorf("Transmissions = %d out of (0, %d]", sum.Transmissions, sum.Deliveries)
+			}
+			if sum.MaxFanout < 1 {
+				t.Errorf("MaxFanout = %d, want >= 1", sum.MaxFanout)
+			}
+		})
+	}
+}
+
+// TestStreamSummaryApproxCachedMetrics drives the provenRadius cached-sweep
+// branch: once a metric has been asked for, the approximate tree's height
+// is certified against the cached radius, so an approx tree of the right
+// height reports ExactTree even where the double-sweep bound alone could
+// not prove it (an even ring's bound is r-1 < r).
+func TestStreamSummaryApproxCachedMetrics(t *testing.T) {
+	nw := Ring(6)
+	if r := nw.Radius(); r != 3 { // caches the metric sweep
+		t.Fatalf("Ring(6) radius = %d, want 3", r)
+	}
+	sum, err := nw.GossipStreamSummary(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TreeHeight != 3 {
+		t.Fatalf("approx tree height = %d, want 3 (any BFS tree of C6)", sum.TreeHeight)
+	}
+	if !sum.ExactTree {
+		t.Error("cached radius 3 should certify the height-3 approx tree as exact")
+	}
+	if sum.Rounds != 6+3 {
+		t.Errorf("Rounds = %d, want 9", sum.Rounds)
+	}
+}
+
+// TestStreamSummaryApproxUncertified pins the conservative answer on a
+// fresh even ring: the approx tree is exact (any BFS tree of C6 has height
+// 3 = r) but without a cached sweep the only cheap certificate is the
+// double-sweep bound ceil(d(u,w)/2) = 2 < 3, so ExactTree must be false.
+func TestStreamSummaryApproxUncertified(t *testing.T) {
+	sum, err := Ring(6).GossipStreamSummary(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TreeHeight != 3 {
+		t.Fatalf("approx tree height = %d, want 3", sum.TreeHeight)
+	}
+	if sum.ExactTree {
+		t.Error("no cheap certificate applies on a fresh even ring; ExactTree must be false")
+	}
+}
+
+// TestStreamSummaryApproxDoubleSweepProof drives the other provenRadius
+// branch: on a fresh path network the double-sweep bound is tight
+// (ceil((n-1)/2) = radius), so the approximate tree is certified without
+// ever paying for a full sweep.
+func TestStreamSummaryApproxDoubleSweepProof(t *testing.T) {
+	for _, n := range []int{7, 9, 15} {
+		sum, err := Line(n).GossipStreamSummary(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := (n - 1 + 1) / 2; sum.TreeHeight != want {
+			t.Fatalf("Line(%d) approx height = %d, want %d", n, sum.TreeHeight, want)
+		}
+		if !sum.ExactTree {
+			t.Errorf("Line(%d): double-sweep bound proves the midpoint tree exact", n)
+		}
+		if sum.Rounds != n+sum.TreeHeight {
+			t.Errorf("Line(%d) Rounds = %d, want %d", n, sum.Rounds, n+sum.TreeHeight)
+		}
+	}
+}
+
+// TestStreamSummaryDisconnected checks both tree constructions surface the
+// disconnection instead of streaming a partial gossip.
+func TestStreamSummaryDisconnected(t *testing.T) {
+	nw := NewNetwork(4)
+	nw.AddLink(0, 1) // 2 and 3 isolated
+	for _, approx := range []bool{false, true} {
+		if _, err := nw.GossipStreamSummary(approx); err == nil {
+			t.Errorf("approx=%v: no error on a disconnected network", approx)
+		} else if !strings.Contains(err.Error(), "unreachable") && !strings.Contains(err.Error(), "disconnected") {
+			t.Errorf("approx=%v: error %q does not name the disconnection", approx, err)
+		}
+	}
+}
