@@ -1,0 +1,143 @@
+package multigossip
+
+import (
+	"multigossip/internal/obs"
+	"multigossip/internal/plancache"
+)
+
+// Serving layer: plan reuse across requests. Constructing a plan costs an
+// O(nm) metric sweep plus an O(n²) schedule build, but the finished Plan is
+// immutable and safe to share between goroutines (Round, TimetableOf,
+// ExecuteTraced and ExecuteWithFaults never mutate it — see the plan
+// sharing race test). PlanCache exploits that: it content-addresses
+// networks by Network.Fingerprint, keeps finished plans in a bounded LRU,
+// and collapses concurrent misses for one topology into a single
+// construction. A process serving many gossip requests pays construction
+// once per distinct (topology, algorithm) pair.
+
+// CacheSource classifies how a PlanCache request was satisfied: CacheMiss
+// (this call constructed the plan), CacheHit (served from memory) or
+// CacheCoalesced (attached to another caller's in-flight construction).
+type CacheSource = plancache.Source
+
+// CacheSource values.
+const (
+	CacheMiss      = plancache.Miss
+	CacheHit       = plancache.Hit
+	CacheCoalesced = plancache.Coalesced
+)
+
+// CacheStats is a point-in-time snapshot of a PlanCache's counters.
+// Hits + Misses + Coalesced equals the requests answered so far, and
+// Entries equals successful Misses minus Evictions.
+type CacheStats = plancache.Stats
+
+type cacheConfig struct {
+	entries int
+	bytes   int64
+	reg     *obs.Registry
+}
+
+// CacheOption configures NewPlanCache.
+type CacheOption func(*cacheConfig)
+
+// WithCacheCapacity bounds the cache to at most n plans (default 512;
+// zero or negative disables the entry bound).
+func WithCacheCapacity(n int) CacheOption {
+	return func(c *cacheConfig) { c.entries = n }
+}
+
+// WithCacheBytes bounds the cache to approximately max bytes of plan data,
+// using a per-plan size estimate (default 512 MiB; zero or negative
+// disables the byte bound). A single plan larger than the bound still
+// caches, as the lone entry.
+func WithCacheBytes(max int64) CacheOption {
+	return func(c *cacheConfig) { c.bytes = max }
+}
+
+// WithCacheMetrics registers the cache's counters and gauges in m under
+// plancache_* names (plancache_hits_total, plancache_misses_total,
+// plancache_coalesced_total, plancache_evictions_total, plancache_entries,
+// plancache_bytes, plancache_inflight), alongside whatever else the caller
+// records there — one registry can feed a single /metrics endpoint.
+func WithCacheMetrics(m *Metrics) CacheOption {
+	return func(c *cacheConfig) { c.reg = m }
+}
+
+// PlanCache is a concurrent, bounded, content-addressed cache of gossip
+// plans. Safe for concurrent use by any number of goroutines; the plans it
+// returns are shared, not copied, which is safe because plans are
+// immutable.
+type PlanCache struct {
+	c *plancache.Cache[*Plan]
+}
+
+// NewPlanCache returns an empty plan cache (512 plans / 512 MiB estimated
+// bytes by default).
+func NewPlanCache(opts ...CacheOption) *PlanCache {
+	cfg := cacheConfig{entries: 512, bytes: 512 << 20}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &PlanCache{c: plancache.New[*Plan](cfg.entries, cfg.bytes, cfg.reg)}
+}
+
+// Plan returns a gossip plan for the network, reusing a cached plan for any
+// network with the same fingerprint and algorithm. On a miss it snapshots
+// the network (so later AddLink calls cannot reach the cached plan) and
+// constructs via PlanGossip; concurrent misses for one key construct once.
+// Construction errors — ErrDisconnected in particular — are returned to
+// every waiting caller and are not cached, so a later request retries.
+func (pc *PlanCache) Plan(nw *Network, opts ...PlanOption) (*Plan, error) {
+	p, _, err := pc.PlanSourced(nw, opts...)
+	return p, err
+}
+
+// PlanSourced is Plan plus the cache outcome, for servers that report or
+// meter hit rates per request.
+func (pc *PlanCache) PlanSourced(nw *Network, opts ...PlanOption) (*Plan, CacheSource, error) {
+	cfg := planConfig{algo: ConcurrentUpDown}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	key := plancache.Key{Fingerprint: nw.Fingerprint(), Algo: int(cfg.algo)}
+	return pc.c.Get(key, func() (*Plan, int64, error) {
+		p, err := nw.snapshot().PlanGossip(opts...)
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.approxBytes(), nil
+	})
+}
+
+// Contains reports whether a plan for the network under the given options
+// is cached, without touching LRU order or the hit/miss counters.
+func (pc *PlanCache) Contains(nw *Network, opts ...PlanOption) bool {
+	cfg := planConfig{algo: ConcurrentUpDown}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return pc.c.Peek(plancache.Key{Fingerprint: nw.Fingerprint(), Algo: int(cfg.algo)})
+}
+
+// Stats snapshots the cache counters.
+func (pc *PlanCache) Stats() CacheStats { return pc.c.Stats() }
+
+// approxBytes estimates the resident size of a plan for the cache's byte
+// bound: the schedule dominates (one Transmission header plus the To slice
+// per multicast), with a few words per processor and link for the tree,
+// labels and graph snapshot.
+func (p *Plan) approxBytes() int64 {
+	const word = 8
+	s := p.result.Schedule
+	b := int64(len(s.Rounds)) * 3 * word // round slice headers
+	for _, r := range s.Rounds {
+		b += int64(len(r)) * 5 * word // Msg, From, To header
+		for _, tx := range r {
+			b += int64(len(tx.To)) * word
+		}
+	}
+	b += int64(p.network.N()) * 6 * word // parents, levels, labels, ecc
+	b += int64(p.network.M()) * 2 * word // adjacency snapshot
+	return b
+}

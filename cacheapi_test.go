@@ -1,0 +1,190 @@
+package multigossip
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestNetworkFingerprint checks the public fingerprint contract: equal for
+// isomorphic insertion orders of one edge set, different after AddLink, and
+// cached across calls.
+func TestNetworkFingerprint(t *testing.T) {
+	a := NewNetwork(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}} {
+		a.AddLink(e[0], e[1])
+	}
+	b := NewNetwork(5)
+	for _, e := range [][2]int{{4, 0}, {2, 1}, {3, 2}, {1, 0}, {3, 4}} {
+		b.AddLink(e[0], e[1])
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("insertion order changed the fingerprint: %#x vs %#x", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Fingerprint() != Ring(5).Fingerprint() {
+		t.Fatal("hand-built ring and generator ring fingerprint differently")
+	}
+	before := a.Fingerprint()
+	a.AddLink(0, 2)
+	if a.Fingerprint() == before {
+		t.Fatal("AddLink did not change the fingerprint")
+	}
+}
+
+// TestPlanCacheHitMiss plans one topology through two distinct Network
+// values and requires a miss then a hit returning the identical plan.
+func TestPlanCacheHitMiss(t *testing.T) {
+	pc := NewPlanCache()
+	p1, src1, err := pc.PlanSourced(Ring(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src1 != CacheMiss {
+		t.Fatalf("first request source %v, want miss", src1)
+	}
+	p2, src2, err := pc.PlanSourced(Ring(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src2 != CacheHit {
+		t.Fatalf("second request source %v, want hit", src2)
+	}
+	if p1 != p2 {
+		t.Fatal("hit did not return the cached plan value")
+	}
+	if p1.Rounds() != 16+8 {
+		t.Fatalf("cached plan rounds %d, want 24", p1.Rounds())
+	}
+	if s := pc.Stats(); s.Hits != 1 || s.Misses != 1 || s.Entries != 1 || s.Bytes <= 0 {
+		t.Fatalf("stats %+v, want 1 hit, 1 miss, 1 entry, positive bytes", s)
+	}
+}
+
+// TestPlanCacheAlgorithmKeys requires ConcurrentUpDown and Simple plans of
+// one network to occupy distinct cache entries.
+func TestPlanCacheAlgorithmKeys(t *testing.T) {
+	pc := NewPlanCache()
+	cud, err := pc.Plan(Ring(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simple, err := pc.Plan(Ring(8), WithAlgorithm(Simple))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cud.Rounds() == simple.Rounds() {
+		t.Fatalf("both algorithms returned %d rounds; keys collided", cud.Rounds())
+	}
+	if s := pc.Stats(); s.Misses != 2 || s.Entries != 2 {
+		t.Fatalf("stats %+v, want 2 misses and 2 entries", s)
+	}
+	if !pc.Contains(Ring(8)) || !pc.Contains(Ring(8), WithAlgorithm(Simple)) || pc.Contains(Ring(9)) {
+		t.Fatal("Contains disagrees with the cached keys")
+	}
+}
+
+// TestPlanCacheDisconnected requires a disconnected network to return the
+// typed error without caching anything.
+func TestPlanCacheDisconnected(t *testing.T) {
+	pc := NewPlanCache()
+	if _, err := pc.Plan(NewNetwork(4)); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("error %v, want ErrDisconnected", err)
+	}
+	if s := pc.Stats(); s.Entries != 0 {
+		t.Fatalf("failed construction cached: %+v", s)
+	}
+	// The same network made connected afterwards plans fine (fresh key or
+	// not, the failure must not poison the cache).
+	nw := NewNetwork(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		nw.AddLink(e[0], e[1])
+	}
+	if _, err := pc.Plan(nw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanCacheSnapshotIsolation mutates the source network after a cached
+// construction and requires the cached plan to stay valid and the mutated
+// network to key to a fresh entry.
+func TestPlanCacheSnapshotIsolation(t *testing.T) {
+	pc := NewPlanCache()
+	nw := Ring(12)
+	p, err := pc.Plan(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.AddLink(0, 6) // mutate after caching
+	if err := p.Verify(); err != nil {
+		t.Fatalf("cached plan corrupted by a later AddLink: %v", err)
+	}
+	if _, src, err := pc.PlanSourced(nw); err != nil || src != CacheMiss {
+		t.Fatalf("mutated network src=%v err=%v, want a fresh miss", src, err)
+	}
+	if _, src, err := pc.PlanSourced(Ring(12)); err != nil || src != CacheHit {
+		t.Fatalf("original topology src=%v err=%v, want hit", src, err)
+	}
+}
+
+// TestPlanCacheConcurrentDedup fires 100 concurrent requests for one cold
+// topology and requires exactly one construction.
+func TestPlanCacheConcurrentDedup(t *testing.T) {
+	pc := NewPlanCache()
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			p, err := pc.Plan(Mesh(8, 8))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if p.Rounds() == 0 {
+				t.Error("empty plan from cache")
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if s := pc.Stats(); s.Misses != 1 || s.Hits+s.Coalesced != 99 || s.Inflight != 0 {
+		t.Fatalf("stats %+v, want exactly one construction for 100 concurrent requests", s)
+	}
+}
+
+// TestPlanCacheEviction bounds the cache to two plans and checks LRU
+// eviction through the public API.
+func TestPlanCacheEviction(t *testing.T) {
+	pc := NewPlanCache(WithCacheCapacity(2))
+	for _, n := range []int{8, 9, 10} {
+		if _, err := pc.Plan(Ring(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pc.Contains(Ring(8)) {
+		t.Fatal("least recently used plan survived eviction")
+	}
+	s := pc.Stats()
+	if s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats %+v, want 1 eviction and 2 entries", s)
+	}
+}
+
+// TestPlanCacheMetricsRegistry routes cache counters into a public Metrics
+// registry and checks they appear in the Prometheus dump.
+func TestPlanCacheMetricsRegistry(t *testing.T) {
+	m := NewMetrics()
+	pc := NewPlanCache(WithCacheMetrics(m))
+	if _, err := pc.Plan(Ring(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Plan(Ring(8)); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.Counters["plancache_misses_total"] != 1 || snap.Counters["plancache_hits_total"] != 1 {
+		t.Fatalf("registry counters %v, want plancache_{hits,misses}_total = 1", snap.Counters)
+	}
+}

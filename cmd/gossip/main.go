@@ -22,6 +22,7 @@ import (
 )
 
 func main() {
+	defer cliutil.Recover("gossip")
 	var (
 		topology = flag.String("topology", "ring", cliutil.Topologies)
 		n        = flag.Int("n", 16, "processor count (line/ring/star/complete/random/sensor/tree)")

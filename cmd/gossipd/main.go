@@ -1,0 +1,90 @@
+// Command gossipd serves gossip plans over HTTP from a fingerprinted plan
+// cache — the production adaptation of the paper's offline algorithm:
+// constructing a schedule is O(nm + n²), but the finished plan is immutable
+// and reusable, so a serving process pays construction once per distinct
+// topology and answers every later request from memory.
+//
+// API (JSON bodies; see DESIGN.md §11):
+//
+//	POST /plan      {"topology":"ring","n":1024}             -> plan summary + cache source
+//	POST /execute   {"topology":"ring","n":64,"link_loss":0.01} -> fault report
+//	GET  /healthz   liveness + cache occupancy
+//	GET  /metrics   Prometheus text: plancache_* and gossipd_* series
+//
+// Requests are admitted through a bounded worker pool: -workers requests
+// compute concurrently, -queue more may wait, and everything beyond that is
+// rejected immediately with 429 so overload degrades by shedding, not by
+// collapse. Disconnected networks return 422 with the planner's typed
+// error; invalid topology parameters return 400. SIGTERM / SIGINT starts a
+// graceful drain: the listener closes, in-flight requests finish (up to
+// -drain), and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8423", "listen address")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent requests computed at once")
+		queue        = flag.Int("queue", 64, "requests allowed to wait for a worker; beyond this, 429")
+		timeout      = flag.Duration("timeout", 10*time.Second, "per-request budget, queue wait included")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown budget after SIGTERM")
+		cacheEntries = flag.Int("cache-entries", 512, "plan cache capacity in plans (<=0: unbounded)")
+		cacheBytes   = flag.Int64("cache-bytes", 512<<20, "plan cache capacity in estimated bytes (<=0: unbounded)")
+	)
+	flag.Parse()
+
+	s := newServer(serverConfig{
+		workers:      *workers,
+		queue:        *queue,
+		timeout:      *timeout,
+		cacheEntries: *cacheEntries,
+		cacheBytes:   *cacheBytes,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "gossipd: serving on http://%s (workers=%d queue=%d cache=%d plans / %d bytes)\n",
+		*addr, *workers, *queue, *cacheEntries, *cacheBytes)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "gossipd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "gossipd: drain incomplete:", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "gossipd:", err)
+		os.Exit(1)
+	}
+	st := s.cache.Stats()
+	fmt.Fprintf(os.Stderr, "gossipd: drained cleanly (%d hits, %d misses, %d coalesced, %d evictions, %d plans resident)\n",
+		st.Hits, st.Misses, st.Coalesced, st.Evictions, st.Entries)
+}

@@ -1,0 +1,402 @@
+// server.go is the request-handling half of gossipd: the JSON API, the
+// bounded worker pool with 429 backpressure, the plan cache wiring, and the
+// request metrics. main.go owns process concerns (flags, listening,
+// signal-driven drain).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"multigossip"
+	"multigossip/internal/cliutil"
+)
+
+// serverConfig sizes the serving layer.
+type serverConfig struct {
+	workers      int           // concurrent plan/execute requests in flight
+	queue        int           // extra requests allowed to wait; beyond this, 429
+	timeout      time.Duration // per-request budget, queue wait included
+	cacheEntries int
+	cacheBytes   int64
+}
+
+// server serves gossip plans from a fingerprinted cache behind a bounded
+// worker pool. All state is safe for concurrent use.
+type server struct {
+	cache   *multigossip.PlanCache
+	metrics *multigossip.Metrics
+	// slots is the admission bound: workers + queue tokens. A request that
+	// cannot take a token immediately is rejected with 429 — open-loop
+	// clients get instant backpressure instead of an unbounded queue.
+	slots chan struct{}
+	// active is the execution bound: at most cfg.workers requests compute
+	// at once; admitted requests beyond that wait here (or time out).
+	active  chan struct{}
+	timeout time.Duration
+	start   time.Time
+
+	reqs, rejected, clientErrs, serverErrs *multigossip.MetricsCounter
+	latency                                *multigossip.MetricsHistogram
+}
+
+func newServer(cfg serverConfig) *server {
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.queue < 0 {
+		cfg.queue = 0
+	}
+	if cfg.timeout <= 0 {
+		cfg.timeout = 10 * time.Second
+	}
+	m := multigossip.NewMetrics()
+	return &server{
+		cache: multigossip.NewPlanCache(
+			multigossip.WithCacheCapacity(cfg.cacheEntries),
+			multigossip.WithCacheBytes(cfg.cacheBytes),
+			multigossip.WithCacheMetrics(m),
+		),
+		metrics:    m,
+		slots:      make(chan struct{}, cfg.workers+cfg.queue),
+		active:     make(chan struct{}, cfg.workers),
+		timeout:    cfg.timeout,
+		start:      time.Now(),
+		reqs:       m.Counter("gossipd_requests_total"),
+		rejected:   m.Counter("gossipd_rejected_total"),
+		clientErrs: m.Counter("gossipd_client_errors_total"),
+		serverErrs: m.Counter("gossipd_server_errors_total"),
+		latency: m.Histogram("gossipd_request_seconds",
+			[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}),
+	}
+}
+
+// handler returns the routed HTTP handler.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /plan", s.bounded(s.handlePlan))
+	mux.HandleFunc("POST /execute", s.bounded(s.handleExecute))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// apiError is the JSON error body every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// fail classifies the response and bumps the matching error counter.
+func (s *server) fail(w http.ResponseWriter, status int, err error) {
+	switch {
+	case status == http.StatusTooManyRequests:
+		s.rejected.Inc()
+	case status >= 500:
+		s.serverErrs.Inc()
+	default:
+		s.clientErrs.Inc()
+	}
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// bounded wraps a handler with admission control, the worker pool, the
+// per-request timeout, latency metering, and a panic barrier (a library
+// panic becomes a 500, never a dead server).
+func (s *server) bounded(h func(w http.ResponseWriter, r *http.Request) (status int, err error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.reqs.Inc()
+		select {
+		case s.slots <- struct{}{}:
+			defer func() { <-s.slots }()
+		default:
+			s.fail(w, http.StatusTooManyRequests, errors.New("server saturated: worker pool and queue are full"))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		select {
+		case s.active <- struct{}{}:
+			defer func() { <-s.active }()
+		case <-ctx.Done():
+			s.fail(w, http.StatusServiceUnavailable, errors.New("timed out waiting for a worker"))
+			return
+		}
+		begin := time.Now()
+		defer func() {
+			s.latency.Observe(time.Since(begin).Seconds())
+			if p := recover(); p != nil {
+				s.fail(w, http.StatusInternalServerError, fmt.Errorf("internal panic: %v", p))
+			}
+		}()
+		if status, err := h(w, r); err != nil {
+			s.fail(w, status, err)
+		}
+	}
+}
+
+// topologySpec names a network the way the CLI flags do, or carries it
+// inline as an edge list over `processors` vertices.
+type topologySpec struct {
+	Topology   string  `json:"topology"`
+	N          int     `json:"n"`
+	Rows       int     `json:"rows"`
+	Cols       int     `json:"cols"`
+	Dim        int     `json:"dim"`
+	P          float64 `json:"p"`
+	Radio      float64 `json:"radio"`
+	Seed       int64   `json:"seed"`
+	Processors int     `json:"processors"`
+	Edges      [][2]int `json:"edges"`
+}
+
+// buildNetwork materialises the spec. Invalid parameters (including edge
+// indices out of range) come back as errors, not panics.
+func buildNetwork(spec topologySpec) (nw *multigossip.Network, err error) {
+	if len(spec.Edges) > 0 {
+		defer func() {
+			if r := recover(); r != nil {
+				nw, err = nil, fmt.Errorf("invalid edge list: %v", r)
+			}
+		}()
+		n := spec.Processors
+		if n == 0 {
+			for _, e := range spec.Edges {
+				if e[0] >= n {
+					n = e[0] + 1
+				}
+				if e[1] >= n {
+					n = e[1] + 1
+				}
+			}
+		}
+		nw = multigossip.NewNetwork(n)
+		for _, e := range spec.Edges {
+			nw.AddLink(e[0], e[1])
+		}
+		return nw, nil
+	}
+	if spec.Topology == "" {
+		return nil, errors.New("request names no topology and no edges")
+	}
+	return cliutil.Build(spec.Topology, cliutil.Params{
+		N: spec.N, Rows: spec.Rows, Cols: spec.Cols, Dim: spec.Dim,
+		P: spec.P, Radio: spec.Radio, Seed: spec.Seed,
+	})
+}
+
+func parseAlgorithm(name string) (multigossip.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "", "cud", "concurrentupdown":
+		return multigossip.ConcurrentUpDown, nil
+	case "simple":
+		return multigossip.Simple, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want cud or simple)", name)
+}
+
+// planRequest asks for a schedule.
+type planRequest struct {
+	topologySpec
+	Algorithm     string `json:"algorithm"`
+	IncludeRounds bool   `json:"include_rounds"`
+}
+
+// roundJSON is one transmission of an included schedule.
+type roundJSON struct {
+	Message int   `json:"message"`
+	From    int   `json:"from"`
+	To      []int `json:"to"`
+}
+
+// planResponse summarises the plan and how the cache satisfied the request.
+type planResponse struct {
+	Fingerprint string        `json:"fingerprint"`
+	Algorithm   string        `json:"algorithm"`
+	Processors  int           `json:"processors"`
+	Links       int           `json:"links"`
+	Radius      int           `json:"radius"`
+	Rounds      int           `json:"rounds"`
+	Source      string        `json:"source"`
+	PlanMillis  float64       `json:"plan_ms"`
+	Schedule    [][]roundJSON `json:"schedule,omitempty"`
+}
+
+// planFor runs the shared plan path of /plan and /execute: build the
+// network, consult the cache, map errors to HTTP statuses (400 for bad
+// requests, 422 for disconnected networks — the bug class this server must
+// answer, not crash on).
+func (s *server) planFor(req planRequest) (*multigossip.Plan, planResponse, int, error) {
+	algo, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		return nil, planResponse{}, http.StatusBadRequest, err
+	}
+	nw, err := buildNetwork(req.topologySpec)
+	if err != nil {
+		return nil, planResponse{}, http.StatusBadRequest, err
+	}
+	begin := time.Now()
+	plan, source, err := s.cache.PlanSourced(nw, multigossip.WithAlgorithm(algo))
+	if err != nil {
+		if errors.Is(err, multigossip.ErrDisconnected) {
+			return nil, planResponse{}, http.StatusUnprocessableEntity, err
+		}
+		return nil, planResponse{}, http.StatusInternalServerError, err
+	}
+	resp := planResponse{
+		Fingerprint: fmt.Sprintf("%016x", nw.Fingerprint()),
+		Algorithm:   algo.String(),
+		Processors:  nw.Processors(),
+		Links:       nw.Links(),
+		Radius:      plan.Radius(),
+		Rounds:      plan.Rounds(),
+		Source:      source.String(),
+		PlanMillis:  float64(time.Since(begin).Microseconds()) / 1000,
+	}
+	return plan, resp, http.StatusOK, nil
+}
+
+func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req planRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
+	}
+	plan, resp, status, err := s.planFor(req)
+	if err != nil {
+		return status, err
+	}
+	if req.IncludeRounds {
+		resp.Schedule = make([][]roundJSON, plan.Rounds())
+		for t := 0; t < plan.Rounds(); t++ {
+			round := plan.Round(t)
+			out := make([]roundJSON, len(round))
+			for i, tx := range round {
+				out[i] = roundJSON{Message: tx.Message, From: tx.From, To: tx.To}
+			}
+			resp.Schedule[t] = out
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return 0, nil
+}
+
+// executeRequest asks for a (possibly faulty) execution of the plan.
+type executeRequest struct {
+	planRequest
+	LinkLoss     float64  `json:"link_loss"`
+	LossSeed     int64    `json:"loss_seed"`
+	DeadLinks    [][2]int `json:"dead_links"`
+	CrashStop    []struct {
+		Proc int `json:"proc"`
+		From int `json:"from"`
+	} `json:"crash_stop"`
+	CrashWindows []struct {
+		Proc int `json:"proc"`
+		From int `json:"from"`
+		To   int `json:"to"`
+	} `json:"crash_windows"`
+	RepairBudget  int  `json:"repair_budget"`
+	WithoutRepair bool `json:"without_repair"`
+}
+
+// executeResponse is the FaultReport over the wire, plus the plan summary.
+type executeResponse struct {
+	planResponse
+	Coverage          float64  `json:"coverage"`
+	FinalCoverage     float64  `json:"final_coverage"`
+	ReachableCoverage float64  `json:"reachable_coverage"`
+	Complete          bool     `json:"complete"`
+	Dropped           int      `json:"dropped"`
+	Repaired          int      `json:"repaired"`
+	ScheduleRounds    int      `json:"schedule_rounds"`
+	RepairRounds      int      `json:"repair_rounds"`
+	TotalRounds       int      `json:"total_rounds"`
+	RepairIterations  int      `json:"repair_iterations"`
+	QuarantinedLinks  [][2]int `json:"quarantined_links,omitempty"`
+	DownProcessors    []int    `json:"down_processors,omitempty"`
+	Stalled           bool     `json:"stalled"`
+}
+
+func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req executeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
+	}
+	plan, resp, status, err := s.planFor(req.planRequest)
+	if err != nil {
+		return status, err
+	}
+	var opts []multigossip.FaultOption
+	if req.LinkLoss > 0 {
+		opts = append(opts, multigossip.WithLinkLoss(req.LinkLoss, req.LossSeed))
+	}
+	for _, l := range req.DeadLinks {
+		opts = append(opts, multigossip.WithDeadLink(l[0], l[1]))
+	}
+	for _, c := range req.CrashStop {
+		opts = append(opts, multigossip.WithCrashStop(c.Proc, c.From))
+	}
+	for _, c := range req.CrashWindows {
+		opts = append(opts, multigossip.WithCrashWindow(c.Proc, c.From, c.To))
+	}
+	if req.RepairBudget > 0 {
+		opts = append(opts, multigossip.WithRepairBudget(req.RepairBudget))
+	}
+	if req.WithoutRepair {
+		opts = append(opts, multigossip.WithoutRepair())
+	}
+	rep, err := plan.ExecuteWithFaults(opts...)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	out := executeResponse{
+		planResponse:      resp,
+		Coverage:          rep.Coverage,
+		FinalCoverage:     rep.FinalCoverage,
+		ReachableCoverage: rep.ReachableCoverage,
+		Complete:          rep.Complete,
+		Dropped:           rep.Dropped,
+		Repaired:          rep.Repaired,
+		ScheduleRounds:    rep.ScheduleRounds,
+		RepairRounds:      rep.RepairRounds,
+		TotalRounds:       rep.TotalRounds,
+		RepairIterations:  rep.RepairIterations,
+		DownProcessors:    rep.DownProcessors,
+		Stalled:           rep.Stalled,
+	}
+	for _, l := range rep.QuarantinedLinks {
+		out.QuarantinedLinks = append(out.QuarantinedLinks, [2]int{l.U, l.V})
+	}
+	writeJSON(w, http.StatusOK, out)
+	return 0, nil
+}
+
+// healthResponse is the /healthz body.
+type healthResponse struct {
+	Status   string                `json:"status"`
+	UptimeMS int64                 `json:"uptime_ms"`
+	Cache    multigossip.CacheStats `json:"cache"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:   "ok",
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Cache:    s.cache.Stats(),
+	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w)
+}

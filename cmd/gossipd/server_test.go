@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
+	t.Helper()
+	if cfg.workers == 0 {
+		cfg.workers = 4
+	}
+	if cfg.timeout == 0 {
+		cfg.timeout = 5 * time.Second
+	}
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url, path string, body any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestPlanEndpoint checks the basic flow: a cold request constructs
+// (source=miss), a repeat serves from cache (source=hit), and both report
+// the ring's n + r rounds.
+func TestPlanEndpoint(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	req := map[string]any{"topology": "ring", "n": 16}
+
+	var first planResponse
+	status, body := post(t, ts.URL, "/plan", req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Source != "miss" || first.Rounds != 24 || first.Radius != 8 || first.Processors != 16 {
+		t.Fatalf("first response %+v, want miss with 24 rounds, radius 8", first)
+	}
+
+	var second planResponse
+	status, body = post(t, ts.URL, "/plan", req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Source != "hit" {
+		t.Fatalf("second response source %q, want hit", second.Source)
+	}
+	if second.Fingerprint != first.Fingerprint || len(second.Fingerprint) != 16 {
+		t.Fatalf("fingerprints %q vs %q, want equal 16-hex strings", first.Fingerprint, second.Fingerprint)
+	}
+}
+
+// TestPlanIncludeRounds requires include_rounds to carry the full schedule.
+func TestPlanIncludeRounds(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	status, body := post(t, ts.URL, "/plan", map[string]any{"topology": "line", "n": 5, "include_rounds": true})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp planResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Schedule) != resp.Rounds {
+		t.Fatalf("schedule has %d rounds, response says %d", len(resp.Schedule), resp.Rounds)
+	}
+	deliveries := 0
+	for _, round := range resp.Schedule {
+		for _, tx := range round {
+			deliveries += len(tx.To)
+		}
+	}
+	if deliveries == 0 {
+		t.Fatal("included schedule is empty")
+	}
+}
+
+// TestDisconnectedReturns422 is the acceptance bug path: a disconnected
+// network must produce a 422 JSON error — the panic class the Metrics()
+// accessor fix removed — on both /plan and /execute.
+func TestDisconnectedReturns422(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	disconnected := map[string]any{"processors": 4, "edges": [][2]int{{0, 1}}}
+	for _, path := range []string{"/plan", "/execute"} {
+		status, body := post(t, ts.URL, path, disconnected)
+		if status != http.StatusUnprocessableEntity {
+			t.Fatalf("%s: status %d (%s), want 422", path, status, body)
+		}
+		var e apiError
+		if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "not connected") {
+			t.Fatalf("%s: error body %q does not name the disconnection", path, body)
+		}
+	}
+}
+
+// TestInvalidRequests maps the malformed-input space to 400s.
+func TestInvalidRequests(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"unknown topology", map[string]any{"topology": "klein-bottle", "n": 8}},
+		{"generator precondition", map[string]any{"topology": "ring", "n": 2}},
+		{"negative n", map[string]any{"topology": "line", "n": -4}},
+		{"no topology", map[string]any{}},
+		{"bad edge index", map[string]any{"processors": 3, "edges": [][2]int{{0, 9}}}},
+		{"self-loop edge", map[string]any{"processors": 3, "edges": [][2]int{{1, 1}}}},
+		{"unknown algorithm", map[string]any{"topology": "ring", "n": 8, "algorithm": "quantum"}},
+		{"bad fault option", map[string]any{"topology": "ring", "n": 8, "link_loss": 1.5}},
+	}
+	for _, c := range cases {
+		path := "/plan"
+		if c.name == "bad fault option" {
+			path = "/execute"
+		}
+		status, body := post(t, ts.URL, path, c.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", c.name, status, body)
+		}
+	}
+	// Non-JSON body.
+	resp, err := http.Post(ts.URL+"/plan", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("truncated JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestExecuteEndpoint runs a lossy execution end to end and requires the
+// self-healing pipeline to report completion.
+func TestExecuteEndpoint(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	status, body := post(t, ts.URL, "/execute", map[string]any{
+		"topology": "ring", "n": 32, "link_loss": 0.02, "loss_seed": 7,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp executeResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Complete || resp.FinalCoverage != 1 {
+		t.Fatalf("lossy ring did not heal: %+v", resp)
+	}
+	if resp.TotalRounds < resp.ScheduleRounds {
+		t.Fatalf("total rounds %d below schedule rounds %d", resp.TotalRounds, resp.ScheduleRounds)
+	}
+
+	// Same topology: the execute path must reuse the cached plan.
+	status, body = post(t, ts.URL, "/execute", map[string]any{"topology": "ring", "n": 32})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Source != "hit" {
+		t.Fatalf("second execute source %q, want hit", resp.Source)
+	}
+	if !resp.Complete || resp.Dropped != 0 {
+		t.Fatalf("fault-free execute: %+v", resp)
+	}
+}
+
+// TestBackpressure429 fills the admission slots by hand and requires the
+// next request to be shed with 429 and counted.
+func TestBackpressure429(t *testing.T) {
+	s, ts := testServer(t, serverConfig{workers: 1, queue: 1})
+	for i := 0; i < cap(s.slots); i++ {
+		s.slots <- struct{}{}
+	}
+	status, body := post(t, ts.URL, "/plan", map[string]any{"topology": "ring", "n": 8})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%s), want 429", status, body)
+	}
+	if s.rejected.Value() != 1 {
+		t.Fatalf("rejected counter %d, want 1", s.rejected.Value())
+	}
+	for i := 0; i < cap(s.slots); i++ {
+		<-s.slots
+	}
+	if status, _ := post(t, ts.URL, "/plan", map[string]any{"topology": "ring", "n": 8}); status != http.StatusOK {
+		t.Fatalf("status %d after slots freed, want 200", status)
+	}
+}
+
+// TestWorkerTimeout503 exhausts the execution slots (but not admission)
+// and requires a short-budget request to time out with 503.
+func TestWorkerTimeout503(t *testing.T) {
+	s, ts := testServer(t, serverConfig{workers: 1, queue: 4, timeout: 50 * time.Millisecond})
+	s.active <- struct{}{} // a stuck worker
+	defer func() { <-s.active }()
+	status, body := post(t, ts.URL, "/plan", map[string]any{"topology": "ring", "n": 8})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", status, body)
+	}
+}
+
+// TestHealthzAndMetrics checks liveness and that the Prometheus dump
+// carries both the request counters and the plan-cache series, with the
+// cache counters reconciling against the requests made.
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	for i := 0; i < 3; i++ {
+		post(t, ts.URL, "/plan", map[string]any{"topology": "star", "n": 9})
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Cache.Misses != 1 || health.Cache.Hits != 2 {
+		t.Fatalf("health %+v, want ok with 1 miss and 2 hits", health)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(dump)
+	for _, want := range []string{
+		"plancache_hits_total 2",
+		"plancache_misses_total 1",
+		"plancache_evictions_total 0",
+		"gossipd_requests_total 3",
+		"gossipd_request_seconds_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics dump missing %q", want)
+		}
+	}
+}
+
+// TestConcurrentColdRequests aims a herd at one cold topology and requires
+// the singleflight to construct once, with every response complete.
+func TestConcurrentColdRequests(t *testing.T) {
+	s, ts := testServer(t, serverConfig{workers: 8, queue: 100})
+	const herd = 24
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, body := post(t, ts.URL, "/plan", map[string]any{"topology": "mesh", "rows": 8, "cols": 8})
+			if status != http.StatusOK {
+				t.Errorf("status %d: %s", status, body)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.cache.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("%d constructions for %d concurrent identical requests, want 1", st.Misses, herd)
+	}
+	if st.Hits+st.Coalesced != herd-1 {
+		t.Fatalf("hits %d + coalesced %d != %d", st.Hits, st.Coalesced, herd-1)
+	}
+}

@@ -27,8 +27,17 @@ type Params struct {
 const Topologies = "line|ring|star|complete|mesh|torus|hypercube|petersen|fig4|random|sensor|tree|custom"
 
 // Build constructs the named topology. "custom" loads Params.File as an
-// edge list; everything else uses the library's generators.
-func Build(name string, p Params) (*multigossip.Network, error) {
+// edge list; everything else uses the library's generators. Generator
+// preconditions (e.g. a ring needs n >= 3, a hypercube dimension must be
+// non-negative) surface as panics in the library; Build converts them to
+// errors so command-line tools and the serving layer report invalid
+// parameters as one-line failures instead of crash traces.
+func Build(name string, p Params) (nw *multigossip.Network, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("invalid topology parameters: %v", r)
+		}
+	}()
 	rng := rand.New(rand.NewSource(p.Seed))
 	switch strings.ToLower(name) {
 	case "line":
@@ -67,5 +76,16 @@ func Build(name string, p Params) (*multigossip.Network, error) {
 		return multigossip.LoadNetwork(f)
 	default:
 		return nil, fmt.Errorf("unknown topology %q (want %s)", name, Topologies)
+	}
+}
+
+// Recover is the CLI-boundary panic handler: deferred first in a tool's
+// main, it turns any panic that escapes the library into a one-line
+// "tool: error" on stderr with exit status 1 — users of the command line
+// get a diagnostic, not a goroutine dump.
+func Recover(tool string) {
+	if r := recover(); r != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, r)
+		os.Exit(1)
 	}
 }

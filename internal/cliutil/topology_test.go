@@ -3,6 +3,7 @@ package cliutil
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -33,6 +34,33 @@ func TestBuildTopologies(t *testing.T) {
 	}
 	if _, err := Build("RING", params); err != nil {
 		t.Errorf("upper-case topology rejected: %v", err)
+	}
+}
+
+// TestBuildInvalidParams drives every generator precondition that used to
+// escape as a panic (crashing the CLIs with a goroutine dump) and requires
+// a descriptive error instead.
+func TestBuildInvalidParams(t *testing.T) {
+	cases := []struct {
+		topology string
+		params   Params
+	}{
+		{"ring", Params{N: 2}},       // graph: cycle needs n >= 3
+		{"ring", Params{N: -1}},      // negative vertex count
+		{"line", Params{N: -5}},      // negative vertex count
+		{"hypercube", Params{Dim: -1}},
+		{"mesh", Params{Rows: -2, Cols: 3}},
+		{"random", Params{N: -3, P: 0.5}},
+	}
+	for _, c := range cases {
+		nw, err := Build(c.topology, c.params)
+		if err == nil {
+			t.Errorf("%s %+v: accepted, got network with %d processors", c.topology, c.params, nw.Processors())
+			continue
+		}
+		if !strings.Contains(err.Error(), "invalid topology parameters") {
+			t.Errorf("%s %+v: error %q does not name invalid parameters", c.topology, c.params, err)
+		}
 	}
 }
 

@@ -1,0 +1,42 @@
+package graph
+
+// fingerprint.go content-addresses a graph: a 64-bit hash over the exact
+// CSR layout (vertex count, row offsets, column entries). Because AddEdge
+// keeps every adjacency list sorted, the layout — and therefore the
+// fingerprint — is a pure function of the vertex count and the edge set:
+// two graphs built from the same edges in any insertion order hash equal,
+// and any added or removed edge changes the row/col stream. The hash is
+// used by the plan cache as a content-addressed key, so it must be stable
+// within a process but carries no cross-version durability promise.
+
+// fpSeed separates the fingerprint domain from other splitmix users.
+const fpSeed = 0x9e3779b97f4a7c15
+
+// mix64 is the splitmix64 finalizer: a cheap full-avalanche bijection.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Fingerprint returns the 64-bit content hash of the graph. Equal vertex
+// counts and edge sets give equal fingerprints regardless of AddEdge order;
+// any structural difference changes the hash (up to 64-bit collisions).
+// It costs one pass over the adjacency structure, O(n + m).
+func (g *Graph) Fingerprint() uint64 {
+	// Chain every value of the CSR stream through the finalizer so that
+	// position matters: hashing the row boundary before each vertex's
+	// columns disambiguates layouts like {0:[1,2]} vs {0:[1], 1:[2]} that
+	// a flat column hash would conflate.
+	h := mix64(fpSeed ^ uint64(len(g.adj)))
+	for _, nbrs := range g.adj {
+		h = mix64(h ^ uint64(len(nbrs)))
+		for _, w := range nbrs {
+			h = mix64(h ^ uint64(w))
+		}
+	}
+	return h
+}

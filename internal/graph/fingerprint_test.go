@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFingerprintInsertionOrder checks content addressing: the same edge
+// set inserted in any order fingerprints identically.
+func TestFingerprintInsertionOrder(t *testing.T) {
+	edges := Petersen().Edges()
+	want := Petersen().Fingerprint()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(len(edges))
+		g := New(10)
+		for _, i := range perm {
+			if rng.Intn(2) == 0 {
+				g.AddEdge(edges[i].U, edges[i].V)
+			} else {
+				g.AddEdge(edges[i].V, edges[i].U)
+			}
+		}
+		if got := g.Fingerprint(); got != want {
+			t.Fatalf("trial %d: fingerprint %#x, want %#x", trial, got, want)
+		}
+	}
+}
+
+// TestFingerprintSensitivity checks that structural differences change the
+// hash: an added edge, a removed edge, extra isolated vertices, and layouts
+// whose flat column streams coincide.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Cycle(8)
+	fp := base.Fingerprint()
+
+	added := Cycle(8)
+	added.AddEdge(0, 4)
+	if added.Fingerprint() == fp {
+		t.Error("adding a chord did not change the fingerprint")
+	}
+
+	grown := New(9)
+	for _, e := range base.Edges() {
+		grown.AddEdge(e.U, e.V)
+	}
+	if grown.Fingerprint() == fp {
+		t.Error("an extra isolated vertex did not change the fingerprint")
+	}
+
+	// Same flat column multiset, different row structure: path 0-1-2 vs
+	// the two-edge star at 1 on reordered labels.
+	a := New(3)
+	a.AddEdge(0, 1)
+	a.AddEdge(1, 2)
+	b := New(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("path and star fingerprints collide")
+	}
+}
+
+// TestFingerprintDistinctTopologies spot-checks that the generator families
+// give pairwise distinct fingerprints — a sanity guard against degenerate
+// mixing, not a collision-resistance proof.
+func TestFingerprintDistinctTopologies(t *testing.T) {
+	gs := map[string]*Graph{
+		"path16":  Path(16),
+		"cycle16": Cycle(16),
+		"star16":  Star(16),
+		"grid4x4": Grid(4, 4),
+		"hyper4":  Hypercube(4),
+		"k16":     Complete(16),
+	}
+	seen := map[uint64]string{}
+	for name, g := range gs {
+		fp := g.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("%s and %s share fingerprint %#x", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}

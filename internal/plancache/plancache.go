@@ -1,0 +1,216 @@
+// Package plancache is the serving layer's content-addressed plan store: an
+// LRU cache keyed by (network fingerprint, algorithm) with singleflight
+// deduplication of concurrent misses.
+//
+// The cache exists because the paper's algorithm is offline: constructing a
+// schedule costs an O(nm) sweep plus O(n²) rounds, while the finished plan
+// is immutable and safe to share across concurrent executions. A serving
+// process therefore pays construction once per distinct topology and
+// answers every later request for the same edge set from memory. The
+// singleflight group collapses a thundering herd — many concurrent requests
+// for one uncached topology — into exactly one construction; every other
+// caller blocks on that flight and shares its result (or its error).
+//
+// Values are opaque to the cache and MUST be immutable once stored: entries
+// are handed out concurrently with no copying. Capacity is bounded both by
+// entry count and by the caller-estimated total bytes; eviction is strict
+// LRU over completed entries (in-flight constructions hold no cache slot).
+package plancache
+
+import (
+	"container/list"
+	"sync"
+
+	"multigossip/internal/obs"
+)
+
+// Key identifies a cached plan: the network's content fingerprint (see
+// graph.Fingerprint) plus the construction algorithm's code.
+type Key struct {
+	Fingerprint uint64
+	Algo        int
+}
+
+// Source classifies how a Get was satisfied.
+type Source int
+
+const (
+	// Miss: this caller ran the build function.
+	Miss Source = iota
+	// Hit: the value was already cached.
+	Hit
+	// Coalesced: another caller's in-flight build satisfied this request.
+	Coalesced
+)
+
+// String names the source in the lowercase form the serving API exposes.
+func (s Source) String() string {
+	switch s {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	}
+	return "unknown"
+}
+
+// Stats is a point-in-time snapshot of the cache counters. Hits + Misses +
+// Coalesced equals the number of Get calls returned so far, and Entries
+// equals successful Misses minus Evictions — the reconciliation invariants
+// the serving benchmark asserts.
+type Stats struct {
+	Hits, Misses, Coalesced, Evictions int64
+	Entries                            int
+	Bytes                              int64
+	Inflight                           int64
+}
+
+type entry[V any] struct {
+	key   Key
+	val   V
+	bytes int64
+	elem  *list.Element
+}
+
+// call is one in-flight construction; followers block on done and then
+// read val/bytes/err (written before close, so the channel orders them).
+type call[V any] struct {
+	done  chan struct{}
+	val   V
+	bytes int64
+	err   error
+}
+
+// Cache is a bounded LRU of immutable values with singleflight miss
+// deduplication. Safe for concurrent use. The zero value is not usable;
+// construct with New.
+type Cache[V any] struct {
+	mu         sync.Mutex
+	entries    map[Key]*entry[V]
+	lru        *list.List // front = most recently used; values are *entry[V]
+	flight     map[Key]*call[V]
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+
+	hits, misses, coalesced, evictions *obs.Counter
+	inflight, entriesG, bytesG         *obs.Gauge
+}
+
+// New returns a cache bounded to at most maxEntries completed entries and
+// maxBytes estimated total bytes; zero (or negative) disables that bound.
+// Counters and gauges register in reg under plancache_* names; a nil reg
+// uses a private registry so recording never needs a nil check.
+func New[V any](maxEntries int, maxBytes int64, reg *obs.Registry) *Cache[V] {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Cache[V]{
+		entries:    make(map[Key]*entry[V]),
+		lru:        list.New(),
+		flight:     make(map[Key]*call[V]),
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		hits:       reg.Counter("plancache_hits_total"),
+		misses:     reg.Counter("plancache_misses_total"),
+		coalesced:  reg.Counter("plancache_coalesced_total"),
+		evictions:  reg.Counter("plancache_evictions_total"),
+		inflight:   reg.Gauge("plancache_inflight"),
+		entriesG:   reg.Gauge("plancache_entries"),
+		bytesG:     reg.Gauge("plancache_bytes"),
+	}
+}
+
+// Get returns the value cached under key, or builds it. build returns the
+// value and its estimated size in bytes; it runs outside the cache lock, at
+// most once per key however many callers race (followers of the same key
+// share the winner's value and error). A build error is returned to every
+// waiter of that flight and nothing is cached, so the next Get retries.
+func (c *Cache[V]) Get(key Key, build func() (V, int64, error)) (V, Source, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.hits.Inc()
+		c.mu.Unlock()
+		return e.val, Hit, nil
+	}
+	if f, ok := c.flight[key]; ok {
+		c.coalesced.Inc()
+		c.mu.Unlock()
+		<-f.done
+		return f.val, Coalesced, f.err
+	}
+	f := &call[V]{done: make(chan struct{})}
+	c.flight[key] = f
+	c.misses.Inc()
+	c.inflight.Add(1)
+	c.mu.Unlock()
+
+	f.val, f.bytes, f.err = build()
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	c.inflight.Add(-1)
+	if f.err == nil {
+		c.insert(key, f.val, f.bytes)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, Miss, f.err
+}
+
+// Peek reports whether key is cached without touching LRU order or
+// counters.
+func (c *Cache[V]) Peek(key Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// insert stores a completed value and evicts LRU entries while over either
+// bound. The newly inserted entry is exempt: a single oversized value still
+// caches (as the lone entry) rather than thrashing. Caller holds c.mu.
+func (c *Cache[V]) insert(key Key, val V, bytes int64) {
+	if e, ok := c.entries[key]; ok {
+		// A racing flight for the same key can complete between this
+		// flight's registration and its insert only if keys collide across
+		// Get calls that missed simultaneously — the flight map prevents
+		// that, but keep insert idempotent for safety.
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &entry[V]{key: key, val: val, bytes: bytes}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.bytes += bytes
+	for c.lru.Len() > 1 &&
+		((c.maxEntries > 0 && c.lru.Len() > c.maxEntries) ||
+			(c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+		back := c.lru.Back()
+		victim := back.Value.(*entry[V])
+		c.lru.Remove(back)
+		delete(c.entries, victim.key)
+		c.bytes -= victim.bytes
+		c.evictions.Inc()
+	}
+	c.entriesG.Set(int64(c.lru.Len()))
+	c.bytesG.Set(c.bytes)
+}
+
+// Stats snapshots the counters and current occupancy.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Coalesced: c.coalesced.Value(),
+		Evictions: c.evictions.Value(),
+		Entries:   c.lru.Len(),
+		Bytes:     c.bytes,
+		Inflight:  c.inflight.Value(),
+	}
+}

@@ -1,0 +1,209 @@
+package plancache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"multigossip/internal/obs"
+)
+
+func key(fp uint64) Key { return Key{Fingerprint: fp} }
+
+// TestSingleflightDedup launches 100 concurrent Gets for one uncached key
+// and requires exactly one build, with every caller seeing the same value
+// and the counters reconciling: 1 miss, 99 coalesced, 0 hits.
+func TestSingleflightDedup(t *testing.T) {
+	c := New[int](0, 0, nil)
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	const callers = 100
+
+	var wg sync.WaitGroup
+	results := make([]int, callers)
+	sources := make([]Source, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			v, src, err := c.Get(key(42), func() (int, int64, error) {
+				builds.Add(1)
+				return 7, 8, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = v
+			sources[i] = src
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("%d builds for %d concurrent identical misses, want 1", got, callers)
+	}
+	var miss, coal int
+	for i, v := range results {
+		if v != 7 {
+			t.Fatalf("caller %d got %d, want 7", i, v)
+		}
+		switch sources[i] {
+		case Miss:
+			miss++
+		case Coalesced:
+			coal++
+		case Hit:
+			// A caller arriving after the flight completed sees a hit;
+			// with the gate this is rare but legal.
+		}
+	}
+	if miss != 1 {
+		t.Errorf("%d callers reported Miss, want 1", miss)
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses+s.Coalesced != callers {
+		t.Errorf("hits %d + misses %d + coalesced %d != %d calls", s.Hits, s.Misses, s.Coalesced, callers)
+	}
+	if s.Misses != 1 || s.Entries != 1 || s.Bytes != 8 || s.Inflight != 0 {
+		t.Errorf("stats %+v after dedup, want 1 miss, 1 entry, 8 bytes, 0 inflight", s)
+	}
+}
+
+// TestLRUEvictionOrder fills a 3-entry cache, touches one entry, inserts a
+// fourth, and requires the least-recently-used key to leave first.
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New[int](3, 0, nil)
+	get := func(fp uint64) {
+		t.Helper()
+		if _, _, err := c.Get(key(fp), func() (int, int64, error) { return int(fp), 1, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get(1)
+	get(2)
+	get(3)
+	get(1) // refresh 1: LRU order is now 2, 3, 1
+	get(4) // evicts 2
+	if c.Peek(key(2)) {
+		t.Error("key 2 survived eviction despite being least recently used")
+	}
+	for _, fp := range []uint64{1, 3, 4} {
+		if !c.Peek(key(fp)) {
+			t.Errorf("key %d evicted out of LRU order", fp)
+		}
+	}
+	get(3) // refresh 3: order is 1, 4, 3
+	get(5) // evicts 1
+	if c.Peek(key(1)) {
+		t.Error("key 1 survived second eviction")
+	}
+	if s := c.Stats(); s.Evictions != 2 || s.Entries != 3 {
+		t.Errorf("stats %+v, want 2 evictions and 3 entries", s)
+	}
+}
+
+// TestByteBound checks the byte cap evicts independently of the entry cap
+// and that one oversized entry still caches.
+func TestByteBound(t *testing.T) {
+	c := New[string](0, 100, nil)
+	put := func(fp uint64, bytes int64) {
+		t.Helper()
+		if _, _, err := c.Get(key(fp), func() (string, int64, error) { return "v", bytes, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(1, 60)
+	put(2, 60) // 120 > 100: evicts 1
+	if c.Peek(key(1)) || !c.Peek(key(2)) {
+		t.Errorf("byte bound evicted wrong entry: have1=%v have2=%v", c.Peek(key(1)), c.Peek(key(2)))
+	}
+	put(3, 500) // oversized: evicts 2, stays as the lone entry
+	s := c.Stats()
+	if !c.Peek(key(3)) || s.Entries != 1 || s.Bytes != 500 {
+		t.Errorf("oversized entry not retained alone: %+v", s)
+	}
+}
+
+// TestBuildErrorNotCached requires a failed construction to propagate its
+// error and leave the key uncached so the next Get retries.
+func TestBuildErrorNotCached(t *testing.T) {
+	c := New[int](0, 0, nil)
+	boom := errors.New("boom")
+	if _, _, err := c.Get(key(9), func() (int, int64, error) { return 0, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("error %v, want boom", err)
+	}
+	if c.Peek(key(9)) {
+		t.Fatal("failed build was cached")
+	}
+	v, src, err := c.Get(key(9), func() (int, int64, error) { return 5, 1, nil })
+	if err != nil || v != 5 || src != Miss {
+		t.Fatalf("retry after failed build: v=%d src=%v err=%v", v, src, err)
+	}
+}
+
+// TestMetricsRegistry checks the counters land in a caller-supplied obs
+// registry under the plancache_* names.
+func TestMetricsRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New[int](0, 0, reg)
+	c.Get(key(1), func() (int, int64, error) { return 1, 4, nil })
+	c.Get(key(1), func() (int, int64, error) { return 1, 4, nil })
+	snap := reg.Snapshot()
+	if snap.Counters["plancache_misses_total"] != 1 || snap.Counters["plancache_hits_total"] != 1 {
+		t.Errorf("registry counters %v, want 1 miss and 1 hit", snap.Counters)
+	}
+	if snap.Gauges["plancache_entries"] != 1 || snap.Gauges["plancache_bytes"] != 4 {
+		t.Errorf("registry gauges %v, want 1 entry and 4 bytes", snap.Gauges)
+	}
+}
+
+// TestSourceString pins the wire names the serving API exposes.
+func TestSourceString(t *testing.T) {
+	for want, src := range map[string]Source{"hit": Hit, "miss": Miss, "coalesced": Coalesced, "unknown": Source(99)} {
+		if got := src.String(); got != want {
+			t.Errorf("Source(%d).String() = %q, want %q", int(src), got, want)
+		}
+	}
+}
+
+// TestConcurrentMixedKeys hammers the cache with distinct and shared keys
+// under the race detector and checks the call-count reconciliation
+// invariant at the end.
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New[string](8, 0, nil)
+	const callers, keys = 64, 16
+	var wg sync.WaitGroup
+	var calls atomic.Int64
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				fp := uint64((i + j) % keys)
+				v, _, err := c.Get(key(fp), func() (string, int64, error) {
+					return fmt.Sprintf("v%d", fp), 16, nil
+				})
+				if err != nil || v != fmt.Sprintf("v%d", fp) {
+					t.Errorf("key %d: v=%q err=%v", fp, v, err)
+					return
+				}
+				calls.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits+s.Misses+s.Coalesced != calls.Load() {
+		t.Errorf("counter sum %d != %d calls", s.Hits+s.Misses+s.Coalesced, calls.Load())
+	}
+	if s.Entries > 8 {
+		t.Errorf("%d entries exceed the 8-entry bound", s.Entries)
+	}
+	if int(s.Misses)-int(s.Evictions) != s.Entries {
+		t.Errorf("misses %d - evictions %d != entries %d", s.Misses, s.Evictions, s.Entries)
+	}
+}

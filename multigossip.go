@@ -61,6 +61,11 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
+// ErrDisconnected is returned (wrapped) by PlanGossip, Metrics and every
+// other planner entry point when the network is not connected. Test with
+// errors.Is; the serving layer maps it to an HTTP 422.
+var ErrDisconnected = errors.New("multigossip: network is not connected")
+
 // Network is a communication network under construction: processors are
 // 0..n-1 and links are added with AddLink.
 type Network struct {
@@ -69,9 +74,11 @@ type Network struct {
 	// metrics caches the result of one full parallel BFS sweep, so that
 	// Radius, Diameter, Center and Eccentricities on the same network
 	// together cost a single sweep instead of one O(nm) pass each. AddLink
-	// invalidates it.
+	// invalidates it, as it does the cached content fingerprint.
 	mu      sync.Mutex
 	metrics *graph.SweepResult
+	fp      uint64
+	fpOK    bool
 }
 
 // NewNetwork returns a network with n processors and no links.
@@ -90,25 +97,92 @@ func (nw *Network) AddLink(u, v int) {
 	defer nw.mu.Unlock()
 	nw.g.AddEdge(u, v)
 	nw.metrics = nil
+	nw.fpOK = false
 }
 
-// sweepMetrics returns the cached full-sweep metrics, computing them on
-// first use. It panics on disconnected networks, matching the documented
-// behaviour of the metric accessors.
-func (nw *Network) sweepMetrics() *graph.SweepResult {
+// sweepMetricsErr returns the cached full-sweep metrics, computing them on
+// first use, or the sweep's error (wrapping ErrDisconnected when the
+// network is not connected).
+func (nw *Network) sweepMetricsErr() (*graph.SweepResult, error) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	if nw.metrics == nil {
 		res, err := nw.g.Sweep(graph.SweepAll)
 		if err != nil {
-			// Wrap the actual sweep error (disconnection is the documented
-			// case, but not the only possible one) so failures are not
-			// mislabeled.
-			panic(fmt.Errorf("multigossip: network metrics: %w", err))
+			if errors.Is(err, graph.ErrDisconnected) {
+				return nil, fmt.Errorf("multigossip: network metrics: %w", ErrDisconnected)
+			}
+			return nil, fmt.Errorf("multigossip: network metrics: %w", err)
 		}
 		nw.metrics = res
 	}
-	return nw.metrics
+	return nw.metrics, nil
+}
+
+// sweepMetrics backs the legacy panicking accessors (Radius, Diameter,
+// Center, Eccentricities); error-aware callers use Metrics instead.
+func (nw *Network) sweepMetrics() *graph.SweepResult {
+	res, err := nw.sweepMetricsErr()
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// NetworkMetrics carries every distance metric of one full BFS sweep.
+type NetworkMetrics struct {
+	// Radius is the least eccentricity; PlanGossip completes in n + Radius
+	// rounds.
+	Radius int
+	// Diameter is the greatest eccentricity.
+	Diameter int
+	// Center lists every processor of minimum eccentricity, ascending.
+	Center []int
+	// Eccentricities has one entry per processor.
+	Eccentricities []int
+}
+
+// Metrics returns the network's distance metrics, or an error wrapping
+// ErrDisconnected when the network is not connected — the error-returning
+// counterpart of the legacy accessors Radius, Diameter, Center and
+// Eccentricities, which panic on disconnected networks. All five share one
+// cached sweep.
+func (nw *Network) Metrics() (NetworkMetrics, error) {
+	res, err := nw.sweepMetricsErr()
+	if err != nil {
+		return NetworkMetrics{}, err
+	}
+	return NetworkMetrics{
+		Radius:         res.Radius,
+		Diameter:       res.Diameter,
+		Center:         append([]int(nil), res.Centers...),
+		Eccentricities: append([]int(nil), res.Ecc...),
+	}, nil
+}
+
+// Fingerprint returns the network's 64-bit content fingerprint: a hash of
+// the vertex count and the exact edge set, independent of AddLink order.
+// Equal fingerprints identify networks whose plans are interchangeable,
+// which makes the fingerprint the cache key of PlanCache and the serving
+// layer. The value is cached and invalidated by AddLink; it is stable
+// within a process but not across releases — do not persist it.
+func (nw *Network) Fingerprint() uint64 {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if !nw.fpOK {
+		nw.fp = nw.g.Fingerprint()
+		nw.fpOK = true
+	}
+	return nw.fp
+}
+
+// snapshot returns a Network over a private deep copy of the graph, taken
+// under the mutation lock. The plan cache builds plans from snapshots so a
+// cached Plan can never observe a later AddLink.
+func (nw *Network) snapshot() *Network {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return fromGraph(nw.g.Clone())
 }
 
 // HasLink reports whether {u, v} is a link.
@@ -125,22 +199,31 @@ func (nw *Network) Connected() bool { return nw.g.IsConnected() }
 
 // Radius returns the network radius r: the least eccentricity over all
 // processors. PlanGossip schedules complete in exactly Processors() + r
-// rounds. The network must be connected. Radius, Diameter, Center and
-// Eccentricities share one cached parallel BFS sweep.
+// rounds. Radius, Diameter, Center and Eccentricities share one cached
+// parallel BFS sweep.
+//
+// These four accessors are legacy panicking APIs: the network must be
+// connected, and they panic (with an error wrapping ErrDisconnected) when
+// it is not. Callers that cannot guarantee connectivity should use Metrics,
+// which returns the same values with an error instead.
 func (nw *Network) Radius() int { return nw.sweepMetrics().Radius }
 
-// Diameter returns the maximum eccentricity. The network must be connected.
+// Diameter returns the maximum eccentricity. The network must be connected;
+// see Radius for the panicking contract and Metrics for the error-returning
+// alternative.
 func (nw *Network) Diameter() int { return nw.sweepMetrics().Diameter }
 
 // Center returns every processor of minimum eccentricity, ascending — the
 // candidate roots of the paper's minimum-depth spanning tree. The network
-// must be connected.
+// must be connected; see Radius for the panicking contract and Metrics for
+// the error-returning alternative.
 func (nw *Network) Center() []int {
 	return append([]int(nil), nw.sweepMetrics().Centers...)
 }
 
 // Eccentricities returns the eccentricity of every processor. The network
-// must be connected.
+// must be connected; see Radius for the panicking contract and Metrics for
+// the error-returning alternative.
 func (nw *Network) Eccentricities() []int {
 	return append([]int(nil), nw.sweepMetrics().Ecc...)
 }
@@ -189,7 +272,7 @@ func (nw *Network) PlanGossip(opts ...PlanOption) (*Plan, error) {
 	res, err := core.Gossip(nw.g, internalAlgo)
 	if err != nil {
 		if errors.Is(err, graph.ErrDisconnected) {
-			return nil, fmt.Errorf("multigossip: network is not connected")
+			return nil, ErrDisconnected
 		}
 		return nil, err
 	}

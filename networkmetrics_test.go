@@ -1,0 +1,87 @@
+package multigossip
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestMetricsConnected checks the error-returning accessor agrees with the
+// legacy panicking accessors on a connected network.
+func TestMetricsConnected(t *testing.T) {
+	nw := Mesh(3, 4)
+	m, err := nw.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Radius != nw.Radius() || m.Diameter != nw.Diameter() {
+		t.Fatalf("Metrics()=(r=%d,d=%d), accessors=(r=%d,d=%d)", m.Radius, m.Diameter, nw.Radius(), nw.Diameter())
+	}
+	if len(m.Eccentricities) != nw.Processors() {
+		t.Fatalf("%d eccentricities for %d processors", len(m.Eccentricities), nw.Processors())
+	}
+	center := nw.Center()
+	if len(m.Center) != len(center) {
+		t.Fatalf("Metrics center %v != accessor center %v", m.Center, center)
+	}
+	for i := range center {
+		if m.Center[i] != center[i] {
+			t.Fatalf("Metrics center %v != accessor center %v", m.Center, center)
+		}
+	}
+}
+
+// TestMetricsDisconnected is the bug this accessor exists for: a
+// disconnected network must yield a typed error from Metrics while the
+// legacy accessors keep their documented panic.
+func TestMetricsDisconnected(t *testing.T) {
+	nw := NewNetwork(4)
+	nw.AddLink(0, 1) // {2,3} isolated
+	if _, err := nw.Metrics(); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("Metrics error %v, want ErrDisconnected", err)
+	}
+	// Legacy contract unchanged: Radius panics, and the panic value wraps
+	// the same sentinel so even recover-based callers can classify it.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Radius on a disconnected network did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrDisconnected) {
+			t.Fatalf("panic value %v does not wrap ErrDisconnected", r)
+		}
+	}()
+	nw.Radius()
+}
+
+// TestPlanGossipDisconnectedTyped pins PlanGossip's disconnection error to
+// the exported sentinel the serving layer maps to HTTP 422.
+func TestPlanGossipDisconnectedTyped(t *testing.T) {
+	if _, err := NewNetwork(3).PlanGossip(); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("PlanGossip error %v, want ErrDisconnected", err)
+	}
+}
+
+// TestMetricsInvalidation checks AddLink invalidates the cached sweep for
+// Metrics just as it does for the legacy accessors.
+func TestMetricsInvalidation(t *testing.T) {
+	nw := Line(9)
+	m, err := nw.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Radius != 4 {
+		t.Fatalf("line radius %d, want 4", m.Radius)
+	}
+	nw.AddLink(0, 8) // close the line into a ring
+	m, err = nw.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Radius != 4 || m.Diameter != 4 {
+		t.Fatalf("ring metrics (r=%d, d=%d), want (4, 4)", m.Radius, m.Diameter)
+	}
+	if m.Diameter == 8 {
+		t.Fatal("Metrics served the stale pre-AddLink sweep")
+	}
+}

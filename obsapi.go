@@ -79,6 +79,17 @@ func NewTracer() *Tracer { return obs.NewTracer() }
 // Prometheus-text WritePrometheus dump.
 type Metrics = obs.Registry
 
+// MetricsCounter is the handle Metrics.Counter returns: a monotonically
+// increasing counter recorded through atomics.
+type MetricsCounter = obs.Counter
+
+// MetricsGauge is the handle Metrics.Gauge returns.
+type MetricsGauge = obs.Gauge
+
+// MetricsHistogram is the handle Metrics.Histogram returns: a fixed-bucket
+// histogram with an implicit +Inf bucket.
+type MetricsHistogram = obs.Histogram
+
 // MetricsSnapshot is a point-in-time copy of every metric in a Metrics
 // registry.
 type MetricsSnapshot = obs.Snapshot

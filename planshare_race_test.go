@@ -1,0 +1,122 @@
+package multigossip
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSharedPlanConcurrentUse is the serving-layer aliasing audit locked in
+// as a test: one cached plan is shared, unsynchronized, by goroutines
+// running every read entry point a server exercises — Round, TimetableOf,
+// Verify, Stats, ExecuteTraced and ExecuteWithFaults (with and without
+// faults and repair). None of these may mutate the plan's schedule, tree or
+// network, so under -race this test doubles as the proof that cached plans
+// are safe to serve concurrently. Determinism is asserted too: every
+// goroutine must see bit-identical results.
+func TestSharedPlanConcurrentUse(t *testing.T) {
+	pc := NewPlanCache()
+	plan, err := pc.Plan(Fig4Network())
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := pc.Plan(Fig4Network())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != plan {
+		t.Fatal("second request did not share the cached plan")
+	}
+
+	wantRound := plan.Round(3)
+	wantTable := plan.TimetableOf(4)
+	wantStats := plan.Stats()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				round := plan.Round(3)
+				if len(round) != len(wantRound) {
+					t.Errorf("worker %d: round 3 has %d transmissions, want %d", w, len(round), len(wantRound))
+					return
+				}
+				for j, tx := range round {
+					// Mutating the returned copy must never reach the plan.
+					if len(tx.To) > 0 {
+						tx.To[0] = -1
+					}
+					_ = j
+				}
+				if got := plan.TimetableOf(4); got != wantTable {
+					t.Errorf("worker %d: timetable diverged", w)
+					return
+				}
+				if got := plan.Stats(); got != wantStats {
+					t.Errorf("worker %d: stats diverged", w)
+					return
+				}
+				if err := plan.Verify(); err != nil {
+					t.Errorf("worker %d: shared plan failed verification: %v", w, err)
+					return
+				}
+				rep, err := plan.ExecuteTraced(nil)
+				if err != nil {
+					t.Errorf("worker %d: ExecuteTraced: %v", w, err)
+					return
+				}
+				if rep.Rounds != plan.Rounds() {
+					t.Errorf("worker %d: traced %d rounds, want %d", w, rep.Rounds, plan.Rounds())
+					return
+				}
+				switch w % 3 {
+				case 0: // fault-free execution with repair enabled
+					fr, err := plan.ExecuteWithFaults()
+					if err != nil || !fr.Complete {
+						t.Errorf("worker %d: fault-free execute: complete=%v err=%v", w, fr.Complete, err)
+						return
+					}
+				case 1: // lossy execution, self-healing
+					fr, err := plan.ExecuteWithFaults(WithLinkLoss(0.05, int64(w*100+i)))
+					if err != nil || !fr.Complete {
+						t.Errorf("worker %d: lossy execute: complete=%v err=%v", w, fr.Complete, err)
+						return
+					}
+				case 2: // raw degradation, no repair
+					fr, err := plan.ExecuteWithFaults(WithDroppedDelivery(0, 0, plan.Round(0)[0].To[0]), WithoutRepair())
+					if err != nil || fr.Complete {
+						t.Errorf("worker %d: dropped delivery still complete=%v err=%v", w, fr.Complete, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// After the storm the plan must be bit-identical to its pre-storm self.
+	if got := plan.TimetableOf(4); got != wantTable {
+		t.Fatal("concurrent use mutated the shared plan's timetable")
+	}
+	if got := plan.Round(3); len(got) > 0 && len(wantRound) > 0 {
+		for j := range got {
+			if got[j].From != wantRound[j].From || got[j].Message != wantRound[j].Message {
+				t.Fatal("concurrent use mutated the shared plan's rounds")
+			}
+			for k := range got[j].To {
+				if got[j].To[k] != wantRound[j].To[k] {
+					t.Fatal("a caller's write to a Round copy reached the plan")
+				}
+			}
+		}
+	}
+	if err := plan.Verify(); err != nil {
+		t.Fatalf("shared plan no longer verifies: %v", err)
+	}
+	if !strings.Contains(plan.Stats(), "rounds") && plan.Stats() != wantStats {
+		t.Fatal("stats mutated")
+	}
+}
