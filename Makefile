@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race cover bench-smoke fault-smoke fuzz-smoke serve-smoke bench sweep-record fault-record obs-record serve-record experiments
+.PHONY: check vet staticcheck build test race cover bench-smoke fault-smoke fuzz-smoke serve-smoke plan-smoke bench sweep-record fault-record obs-record serve-record plan-record experiments
 
-check: vet staticcheck build race cover bench-smoke fault-smoke fuzz-smoke serve-smoke
+check: vet staticcheck build race cover bench-smoke fault-smoke fuzz-smoke serve-smoke plan-smoke
 
 vet:
 	$(GO) vet ./...
@@ -74,11 +74,22 @@ serve-smoke:
 	wait $$pid; \
 	echo "serve-smoke: clean drain"
 
-# Ten seconds of coverage-guided fuzzing of the repair planner's
-# model-safety invariant: every emitted schedule must replay cleanly under
-# schedule.Run from the hold-state it was planned for.
+# Ten seconds each of coverage-guided fuzzing: the repair planner's
+# model-safety invariant (every emitted schedule must replay cleanly under
+# schedule.Run from the hold-state it was planned for) and the implicit
+# plan's equivalence invariant (closed-form rounds and timetables must be
+# bit-identical to the materialising builder on random connected graphs).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzPlanRounds -fuzztime=10s ./internal/repair
+	$(GO) test -run='^$$' -fuzz=FuzzImplicitRound -fuzztime=10s ./internal/implicit
+
+# Differential gate for the implicit plan encoding: every round of a seeded
+# random n = 4096 plan compared bit-for-bit against the materialised
+# builder, the >=100x byte-ratio acceptance floor, and an n = 10^5 implicit
+# construction — all under GOMEMLIMIT so a space regression in either
+# encoding fails loudly.
+plan-smoke:
+	GOMEMLIMIT=1GiB $(GO) run ./cmd/planbench -smoke
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -114,6 +125,13 @@ serve-record:
 	./bin/loadgen -url http://$(SERVE_ADDR) -duration 20s -rate 30 -hot 0.96 -n 1024 -cold-keys 48 -assert -min-speedup 10 -out BENCH_serve.json; \
 	kill -TERM $$pid; \
 	wait $$pid
+
+# Regenerate the BENCH_plan.json plan-encoding record: implicit O(n) plans
+# vs materialised O(n²) schedules (bytes, construction time, first-round
+# latency) at n in {1024, 4096}, plus implicit-only construction runs at
+# n in {10^5, 10^6}. The full ring/grid materialisations take minutes.
+plan-record:
+	$(GO) run ./cmd/planbench -out BENCH_plan.json
 
 experiments:
 	$(GO) run ./cmd/experiments

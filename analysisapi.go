@@ -92,7 +92,7 @@ func sweepStatsFrom(s graph.SweepStats) SweepStats {
 // TreeSweepStats reports the sweep-engine counters for this plan's
 // Section 3.1 minimum-depth spanning tree construction — the dominant cost
 // of PlanGossip.
-func (p *Plan) TreeSweepStats() SweepStats { return sweepStatsFrom(p.result.Sweep) }
+func (p *Plan) TreeSweepStats() SweepStats { return sweepStatsFrom(p.sweep) }
 
 // MetricSweepStats reports the counters of the cached full metric sweep
 // behind Radius/Diameter/Center/Eccentricities, computing it first if no
@@ -111,7 +111,7 @@ func (nw *Network) MetricSweepStats() SweepStats {
 // their redundant deliveries. O(deliveries²); intended for small and
 // medium networks.
 func (p *Plan) Criticality() (critical, deliveries int, err error) {
-	rep, err := fault.Criticality(p.network, p.result.Schedule)
+	rep, err := fault.Criticality(p.network, p.schedule())
 	if err != nil {
 		return 0, 0, err
 	}
@@ -123,7 +123,7 @@ func (p *Plan) Criticality() (critical, deliveries int, err error) {
 // probability loss, with full fault propagation (a processor that never
 // received a message silently skips relaying it).
 func (p *Plan) CoverageUnderLoss(loss float64, trials int, seed int64) (float64, error) {
-	return fault.RandomLoss(p.network, p.result.Schedule, loss, trials, rand.New(rand.NewSource(seed)))
+	return fault.RandomLoss(p.network, p.schedule(), loss, trials, rand.New(rand.NewSource(seed)))
 }
 
 // EstimateMakespan prices the plan on barrier-synchronised hardware: each
@@ -132,7 +132,7 @@ func (p *Plan) CoverageUnderLoss(loss float64, trials int, seed int64) (float64,
 // are averaged. Round counts are what the paper optimises; this converts
 // them to wall-clock under a simple latency model.
 func (p *Plan) EstimateMakespan(base, jitter, barrier float64, trials int, seed int64) (float64, error) {
-	res, err := async.Makespan(p.result.Schedule, async.UniformJitter{Base: base, Jitter: jitter},
+	res, err := async.Makespan(p.schedule(), async.UniformJitter{Base: base, Jitter: jitter},
 		barrier, trials, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return 0, err
@@ -145,7 +145,7 @@ func (p *Plan) EstimateMakespan(base, jitter, barrier float64, trials int, seed 
 // repeated gossiping. It always lies between n-1 (receive capacity) and
 // the plan's latency.
 func (p *Plan) MinRepeatPeriod() (int, error) {
-	s := p.result.Schedule
+	s := p.schedule()
 	period, err := pipeline.MinPeriod(p.network, s, 3, s.Time()+1)
 	if err != nil {
 		return 0, err

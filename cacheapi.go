@@ -106,7 +106,9 @@ func (pc *PlanCache) PlanSourced(nw *Network, opts ...PlanOption) (*Plan, CacheS
 		if err != nil {
 			return nil, 0, err
 		}
-		return p, p.approxBytes(), nil
+		// Plan implements plancache.Sizer, so the cache charges
+		// p.SizeBytes() — the build-time estimate here is a fallback only.
+		return p, p.SizeBytes(), nil
 	})
 }
 
@@ -123,14 +125,29 @@ func (pc *PlanCache) Contains(nw *Network, opts ...PlanOption) bool {
 // Stats snapshots the cache counters.
 func (pc *PlanCache) Stats() CacheStats { return pc.c.Stats() }
 
-// approxBytes estimates the resident size of a plan for the cache's byte
-// bound: the schedule dominates (one Transmission header plus the To slice
-// per multicast), with a few words per processor and link for the tree,
-// labels and graph snapshot.
-func (p *Plan) approxBytes() int64 {
+// SizeBytes reports the plan's resident size — the plancache.Sizer
+// contract, which the cache's byte bound charges instead of a flat
+// estimate. Implicit-backed ConcurrentUpDown plans cost their packed O(n)
+// arrays plus the graph snapshot: kilobytes where the materialised form
+// costs megabytes, which is what lets one cache hold thousands of
+// topologies. Materialised (Simple) plans cost the full schedule — one
+// Transmission header plus the To slice per multicast — plus the tree,
+// labels and snapshot.
+//
+// The size is measured once, at cache insert. An implicit-backed plan
+// that is later asked to Verify, Stats or ExecuteWithFaults materialises
+// its schedule lazily and from then on occupies more memory than the
+// cache accounted for; serving paths that only read Rounds, Round,
+// RoundAppend and TimetableOf never trigger that growth.
+func (p *Plan) SizeBytes() int64 {
 	const word = 8
-	s := p.result.Schedule
-	b := int64(len(s.Rounds)) * 3 * word // round slice headers
+	b := int64(p.network.N()) * 2 * word // adjacency index of the snapshot
+	b += int64(p.network.M()) * 2 * word // adjacency lists (both directions)
+	if p.imp != nil {
+		return b + p.imp.SizeBytes()
+	}
+	s := p.sched
+	b += int64(len(s.Rounds)) * 3 * word // round slice headers
 	for _, r := range s.Rounds {
 		b += int64(len(r)) * 5 * word // Msg, From, To header
 		for _, tx := range r {
@@ -138,6 +155,5 @@ func (p *Plan) approxBytes() int64 {
 		}
 	}
 	b += int64(p.network.N()) * 6 * word // parents, levels, labels, ecc
-	b += int64(p.network.M()) * 2 * word // adjacency snapshot
 	return b
 }

@@ -109,8 +109,10 @@ func measure(kind string, n int, rates []float64, trials, budget int, watch mult
 		return nil, err
 	}
 	deliveries := 0
+	var buf []multigossip.Transmission
 	for t := 0; t < plan.Rounds(); t++ {
-		for _, tx := range plan.Round(t) {
+		buf = plan.RoundAppend(t, buf[:0])
+		for _, tx := range buf {
 			deliveries += len(tx.To)
 		}
 	}

@@ -148,15 +148,15 @@ func (s *server) bounded(h func(w http.ResponseWriter, r *http.Request) (status 
 // topologySpec names a network the way the CLI flags do, or carries it
 // inline as an edge list over `processors` vertices.
 type topologySpec struct {
-	Topology   string  `json:"topology"`
-	N          int     `json:"n"`
-	Rows       int     `json:"rows"`
-	Cols       int     `json:"cols"`
-	Dim        int     `json:"dim"`
-	P          float64 `json:"p"`
-	Radio      float64 `json:"radio"`
-	Seed       int64   `json:"seed"`
-	Processors int     `json:"processors"`
+	Topology   string   `json:"topology"`
+	N          int      `json:"n"`
+	Rows       int      `json:"rows"`
+	Cols       int      `json:"cols"`
+	Dim        int      `json:"dim"`
+	P          float64  `json:"p"`
+	Radio      float64  `json:"radio"`
+	Seed       int64    `json:"seed"`
+	Processors int      `json:"processors"`
 	Edges      [][2]int `json:"edges"`
 }
 
@@ -205,11 +205,17 @@ func parseAlgorithm(name string) (multigossip.Algorithm, error) {
 	return 0, fmt.Errorf("unknown algorithm %q (want cud or simple)", name)
 }
 
-// planRequest asks for a schedule.
+// planRequest asks for a schedule. include_rounds returns the full
+// schedule; rounds_from/rounds_count return just that round window,
+// streamed straight from the plan's closed-form evaluation — the response
+// cost is proportional to the window, not to the O(n²) schedule, so
+// clients can page through a huge plan round by round.
 type planRequest struct {
 	topologySpec
 	Algorithm     string `json:"algorithm"`
 	IncludeRounds bool   `json:"include_rounds"`
+	RoundsFrom    int    `json:"rounds_from"`
+	RoundsCount   int    `json:"rounds_count"`
 }
 
 // roundJSON is one transmission of an included schedule.
@@ -230,6 +236,10 @@ type planResponse struct {
 	Source      string        `json:"source"`
 	PlanMillis  float64       `json:"plan_ms"`
 	Schedule    [][]roundJSON `json:"schedule,omitempty"`
+	// RoundsFrom/RoundsCount echo the served window when the request asked
+	// for one: Schedule[i] is round RoundsFrom+i.
+	RoundsFrom  *int `json:"rounds_from,omitempty"`
+	RoundsCount *int `json:"rounds_count,omitempty"`
 }
 
 // planFor runs the shared plan path of /plan and /execute: build the
@@ -275,28 +285,56 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) (int, error)
 	if err != nil {
 		return status, err
 	}
-	if req.IncludeRounds {
-		resp.Schedule = make([][]roundJSON, plan.Rounds())
-		for t := 0; t < plan.Rounds(); t++ {
-			round := plan.Round(t)
-			out := make([]roundJSON, len(round))
-			for i, tx := range round {
-				out[i] = roundJSON{Message: tx.Message, From: tx.From, To: tx.To}
-			}
-			resp.Schedule[t] = out
+	switch {
+	case req.RoundsCount > 0 || req.RoundsFrom != 0:
+		if req.IncludeRounds {
+			return http.StatusBadRequest, errors.New("include_rounds and rounds_from/rounds_count are mutually exclusive")
 		}
+		if req.RoundsFrom < 0 || req.RoundsCount < 0 {
+			return http.StatusBadRequest, errors.New("rounds_from and rounds_count must be non-negative")
+		}
+		from := req.RoundsFrom
+		count := req.RoundsCount
+		if from > plan.Rounds() {
+			from = plan.Rounds()
+		}
+		if max := plan.Rounds() - from; count > max {
+			count = max
+		}
+		resp.Schedule = appendRounds(plan, from, count)
+		resp.RoundsFrom, resp.RoundsCount = &from, &count
+	case req.IncludeRounds:
+		resp.Schedule = appendRounds(plan, 0, plan.Rounds())
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return 0, nil
 }
 
+// appendRounds renders the round window [from, from+count) for the wire.
+// It streams through Plan.RoundAppend with one recycled buffer, so an
+// implicit-backed plan serves any window without ever materialising the
+// full schedule.
+func appendRounds(plan *multigossip.Plan, from, count int) [][]roundJSON {
+	out := make([][]roundJSON, 0, count)
+	var buf []multigossip.Transmission
+	for t := from; t < from+count; t++ {
+		buf = plan.RoundAppend(t, buf[:0])
+		round := make([]roundJSON, len(buf))
+		for i, tx := range buf {
+			round[i] = roundJSON{Message: tx.Message, From: tx.From, To: append([]int(nil), tx.To...)}
+		}
+		out = append(out, round)
+	}
+	return out
+}
+
 // executeRequest asks for a (possibly faulty) execution of the plan.
 type executeRequest struct {
 	planRequest
-	LinkLoss     float64  `json:"link_loss"`
-	LossSeed     int64    `json:"loss_seed"`
-	DeadLinks    [][2]int `json:"dead_links"`
-	CrashStop    []struct {
+	LinkLoss  float64  `json:"link_loss"`
+	LossSeed  int64    `json:"loss_seed"`
+	DeadLinks [][2]int `json:"dead_links"`
+	CrashStop []struct {
 		Proc int `json:"proc"`
 		From int `json:"from"`
 	} `json:"crash_stop"`
@@ -383,8 +421,8 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) (int, err
 
 // healthResponse is the /healthz body.
 type healthResponse struct {
-	Status   string                `json:"status"`
-	UptimeMS int64                 `json:"uptime_ms"`
+	Status   string                 `json:"status"`
+	UptimeMS int64                  `json:"uptime_ms"`
 	Cache    multigossip.CacheStats `json:"cache"`
 }
 

@@ -104,6 +104,65 @@ func TestPlanIncludeRounds(t *testing.T) {
 	}
 }
 
+// TestPlanRoundWindow checks the streamed round-window mode: the window
+// matches the corresponding slice of the full schedule, out-of-range
+// windows clamp to empty, and mixing window and include_rounds is a 400.
+func TestPlanRoundWindow(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	status, body := post(t, ts.URL, "/plan", map[string]any{"topology": "ring", "n": 12, "include_rounds": true})
+	if status != http.StatusOK {
+		t.Fatalf("full schedule: status %d: %s", status, body)
+	}
+	var full planResponse
+	if err := json.Unmarshal(body, &full); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body = post(t, ts.URL, "/plan", map[string]any{"topology": "ring", "n": 12, "rounds_from": 3, "rounds_count": 4})
+	if status != http.StatusOK {
+		t.Fatalf("window: status %d: %s", status, body)
+	}
+	var window planResponse
+	if err := json.Unmarshal(body, &window); err != nil {
+		t.Fatal(err)
+	}
+	if window.RoundsFrom == nil || *window.RoundsFrom != 3 || window.RoundsCount == nil || *window.RoundsCount != 4 {
+		t.Fatalf("window did not echo rounds_from=3 rounds_count=4: %+v", window)
+	}
+	if len(window.Schedule) != 4 {
+		t.Fatalf("window has %d rounds, want 4", len(window.Schedule))
+	}
+	for i, round := range window.Schedule {
+		wantJSON, _ := json.Marshal(full.Schedule[3+i])
+		gotJSON, _ := json.Marshal(round)
+		if string(gotJSON) != string(wantJSON) {
+			t.Fatalf("window round %d differs from full schedule round %d:\n%s\n%s", i, 3+i, gotJSON, wantJSON)
+		}
+	}
+
+	// A window past the end clamps to empty rather than erroring.
+	status, body = post(t, ts.URL, "/plan", map[string]any{"topology": "ring", "n": 12, "rounds_from": 1000, "rounds_count": 5})
+	if status != http.StatusOK {
+		t.Fatalf("clamped window: status %d: %s", status, body)
+	}
+	var clamped planResponse
+	if err := json.Unmarshal(body, &clamped); err != nil {
+		t.Fatal(err)
+	}
+	if len(clamped.Schedule) != 0 || clamped.RoundsCount == nil || *clamped.RoundsCount != 0 {
+		t.Fatalf("out-of-range window not clamped to empty: %+v", clamped)
+	}
+
+	status, _ = post(t, ts.URL, "/plan", map[string]any{"topology": "ring", "n": 12, "include_rounds": true, "rounds_count": 2})
+	if status != http.StatusBadRequest {
+		t.Fatalf("include_rounds + window: status %d, want 400", status)
+	}
+	status, _ = post(t, ts.URL, "/plan", map[string]any{"topology": "ring", "n": 12, "rounds_from": -1, "rounds_count": 2})
+	if status != http.StatusBadRequest {
+		t.Fatalf("negative rounds_from: status %d, want 400", status)
+	}
+}
+
 // TestDisconnectedReturns422 is the acceptance bug path: a disconnected
 // network must produce a 422 JSON error — the panic class the Metrics()
 // accessor fix removed — on both /plan and /execute.

@@ -262,7 +262,7 @@ func (p *Plan) ExecuteWithFaults(opts ...FaultOption) (FaultReport, error) {
 	if len(cfg.injectors) > 0 {
 		inj = cfg.injectors
 	}
-	s := p.result.Schedule
+	s := p.schedule()
 	for _, c := range cfg.injectors {
 		switch f := c.(type) {
 		case fault.CrashWindow:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"multigossip/internal/graph"
+	"multigossip/internal/implicit"
 	"multigossip/internal/schedule"
 	"multigossip/internal/spantree"
 )
@@ -56,6 +57,23 @@ func Gossip(g *graph.Graph, algo Algorithm) (*Result, error) {
 	res := GossipOnTree(tree)[algo]()
 	res.Sweep = sweep
 	return res, nil
+}
+
+// GossipImplicit runs the pipeline's tree and labelling stages on an
+// arbitrary connected network and stops there, returning the compact
+// implicit ConcurrentUpDown plan: O(n) words, no schedule materialisation.
+// The implicit plan answers the same round and timetable queries as
+// BuildConcurrentUpDown bit for bit, and Plan.Labeled reconstructs the
+// labelled tree whenever a caller genuinely needs the materialised form.
+func GossipImplicit(g *graph.Graph) (*implicit.Plan, graph.SweepStats, error) {
+	if g.N() == 0 {
+		return nil, graph.SweepStats{}, fmt.Errorf("core: empty network")
+	}
+	tree, sweep, err := spantree.MinDepthWithStats(g)
+	if err != nil {
+		return nil, graph.SweepStats{}, fmt.Errorf("core: building minimum-depth spanning tree: %w", err)
+	}
+	return implicit.New(spantree.Label(tree)), sweep, nil
 }
 
 // GossipOnTree returns lazy constructors for each algorithm on a fixed

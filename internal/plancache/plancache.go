@@ -31,6 +31,18 @@ type Key struct {
 	Algo        int
 }
 
+// Sizer is implemented by cached values that can report their own resident
+// size. When a built value implements Sizer, the cache charges
+// SizeBytes() against the byte bound instead of the build function's
+// estimate, so differently-encoded values (an O(n) implicit plan vs an
+// O(n²) materialised schedule) are accounted honestly. The size is read
+// once, at insert: a value that lazily grows afterwards (an implicit plan
+// materialising its schedule on demand) occupies more than its accounted
+// bytes until evicted.
+type Sizer interface {
+	SizeBytes() int64
+}
+
 // Source classifies how a Get was satisfied.
 type Source int
 
@@ -124,7 +136,8 @@ func New[V any](maxEntries int, maxBytes int64, reg *obs.Registry) *Cache[V] {
 }
 
 // Get returns the value cached under key, or builds it. build returns the
-// value and its estimated size in bytes; it runs outside the cache lock, at
+// value and its estimated size in bytes (overridden by the value's own
+// SizeBytes when it implements Sizer); it runs outside the cache lock, at
 // most once per key however many callers race (followers of the same key
 // share the winner's value and error). A build error is returned to every
 // waiter of that flight and nothing is cached, so the next Get retries.
@@ -149,6 +162,11 @@ func (c *Cache[V]) Get(key Key, build func() (V, int64, error)) (V, Source, erro
 	c.mu.Unlock()
 
 	f.val, f.bytes, f.err = build()
+	if f.err == nil {
+		if s, ok := any(f.val).(Sizer); ok {
+			f.bytes = s.SizeBytes()
+		}
+	}
 
 	c.mu.Lock()
 	delete(c.flight, key)

@@ -33,6 +33,7 @@ import (
 	"multigossip/internal/baseline"
 	"multigossip/internal/core"
 	"multigossip/internal/graph"
+	"multigossip/internal/implicit"
 	"multigossip/internal/online"
 	"multigossip/internal/schedule"
 	"multigossip/internal/search"
@@ -244,10 +245,35 @@ type Transmission struct {
 }
 
 // Plan is a complete gossip communication schedule for a network.
+//
+// ConcurrentUpDown plans are implicit-backed: the Plan holds only the O(n)
+// compact form (DFS preorder intervals, levels, lip bits and the tree
+// structure) and answers Rounds, Round, RoundAppend and TimetableOf by
+// evaluating the paper's closed-form send/receive rules on demand. The
+// Θ(n²) materialised schedule is built lazily — once, on first use — and
+// only by the operations that genuinely replay or export every delivery
+// (Verify, ExecuteWithFaults, ExecuteTraced, Stats, MarshalJSON, the
+// analysis helpers). Simple plans have no closed form and stay eagerly
+// materialised. Either way the Plan is immutable to callers and safe to
+// share between goroutines; lazy state is built under sync.Once.
 type Plan struct {
 	network *graph.Graph
-	result  *core.Result
 	algo    Algorithm
+	radius  int
+	sweep   graph.SweepStats
+
+	// imp is the compact closed-form plan; non-nil exactly for
+	// ConcurrentUpDown plans.
+	imp *implicit.Plan
+
+	// Lazily reconstructed tree views (eager for Simple plans).
+	lazyTree sync.Once
+	tree     *spantree.Tree    // spanning tree in original vertex ids
+	labeled  *spantree.Labeled // DFS labelling of tree
+
+	// Lazily materialised schedule (eager for Simple plans).
+	lazySched sync.Once
+	sched     *schedule.Schedule // full schedule in original vertex ids
 }
 
 // PlanGossip constructs a gossip schedule for the network, by default with
@@ -257,26 +283,67 @@ func (nw *Network) PlanGossip(opts ...PlanOption) (*Plan, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	var internalAlgo core.Algorithm
+	// Connectivity is not checked up front: the minimum-depth sweep inside
+	// the pipeline already proves it (or reports disconnection), so a
+	// dedicated BFS here would be a redundant O(m) pass per plan.
 	switch cfg.algo {
 	case ConcurrentUpDown:
-		internalAlgo = core.ConcurrentUpDown
+		imp, sweep, err := core.GossipImplicit(nw.g)
+		if err != nil {
+			if errors.Is(err, graph.ErrDisconnected) {
+				return nil, ErrDisconnected
+			}
+			return nil, err
+		}
+		return &Plan{network: nw.g, algo: cfg.algo, radius: imp.Height(), sweep: sweep, imp: imp}, nil
 	case Simple:
-		internalAlgo = core.Simple
+		res, err := core.Gossip(nw.g, core.Simple)
+		if err != nil {
+			if errors.Is(err, graph.ErrDisconnected) {
+				return nil, ErrDisconnected
+			}
+			return nil, err
+		}
+		return &Plan{
+			network: nw.g,
+			algo:    cfg.algo,
+			radius:  res.Radius,
+			sweep:   res.Sweep,
+			tree:    res.Tree,
+			labeled: res.Labeled,
+			sched:   res.Schedule,
+		}, nil
 	default:
 		return nil, fmt.Errorf("multigossip: unknown algorithm %d", int(cfg.algo))
 	}
-	// Connectivity is not checked up front: the minimum-depth sweep inside
-	// core.Gossip already proves it (or reports disconnection), so a
-	// dedicated BFS here would be a redundant O(m) pass per plan.
-	res, err := core.Gossip(nw.g, internalAlgo)
-	if err != nil {
-		if errors.Is(err, graph.ErrDisconnected) {
-			return nil, ErrDisconnected
+}
+
+// treeLabeled returns the plan's spanning tree (original ids) and DFS
+// labelling, reconstructing them from the compact form on first use.
+func (p *Plan) treeLabeled() (*spantree.Tree, *spantree.Labeled) {
+	p.lazyTree.Do(func() {
+		if p.tree != nil {
+			return // eagerly materialised (Simple)
 		}
-		return nil, err
-	}
-	return &Plan{network: nw.g, result: res, algo: cfg.algo}, nil
+		p.labeled = p.imp.Labeled()
+		p.tree = p.imp.OriginalTree()
+	})
+	return p.tree, p.labeled
+}
+
+// schedule returns the fully materialised schedule in original vertex ids,
+// building it from the compact form on first use. Callers that can be
+// served by the closed forms (Round, RoundAppend, TimetableOf, Rounds)
+// never call this.
+func (p *Plan) schedule() *schedule.Schedule {
+	p.lazySched.Do(func() {
+		if p.sched != nil {
+			return // eagerly materialised (Simple)
+		}
+		_, l := p.treeLabeled()
+		p.sched = core.RemapToOriginal(core.BuildConcurrentUpDown(l), l)
+	})
+	return p.sched
 }
 
 type planConfig struct {
@@ -292,52 +359,110 @@ func WithAlgorithm(a Algorithm) PlanOption { return func(c *planConfig) { c.algo
 // Rounds returns the total communication time: the number of rounds until
 // every processor holds every message. For ConcurrentUpDown this is exactly
 // Processors() + Radius().
-func (p *Plan) Rounds() int { return p.result.Schedule.Time() }
+func (p *Plan) Rounds() int {
+	if p.imp != nil {
+		return p.imp.Rounds()
+	}
+	return p.sched.Time()
+}
 
 // Radius returns the spanning tree height used by the plan (= network radius).
-func (p *Plan) Radius() int { return p.result.Radius }
+func (p *Plan) Radius() int { return p.radius }
 
 // Round returns the transmissions of round t (messages sent at time t and
-// received at time t+1). Out-of-range rounds return nil.
+// received at time t+1). Out-of-range rounds return nil. Every call
+// allocates a fresh result; hot loops over many rounds should use
+// RoundAppend with a recycled buffer instead.
 func (p *Plan) Round(t int) []Transmission {
-	if t < 0 || t >= len(p.result.Schedule.Rounds) {
-		return nil
+	return p.RoundAppend(t, nil)
+}
+
+// RoundAppend appends the transmissions of round t to dst and returns the
+// extended slice — the allocation-free counterpart of Round for callers
+// that stream many rounds (executors, servers, benchmarks). Like append,
+// it treats dst's spare capacity as scratch, including the To slices of
+// elements beyond len(dst), which are overwritten in place; resetting with
+// dst = dst[:0] between rounds therefore reuses every allocation.
+// Out-of-range rounds append nothing.
+func (p *Plan) RoundAppend(t int, dst []Transmission) []Transmission {
+	if p.imp != nil {
+		return appendImplicitRound(p.imp, t, dst)
 	}
-	round := p.result.Schedule.Rounds[t]
-	out := make([]Transmission, len(round))
-	for i, tx := range round {
-		out[i] = Transmission{Message: tx.Msg, From: tx.From, To: append([]int(nil), tx.To...)}
+	if t < 0 || t >= len(p.sched.Rounds) {
+		return dst
 	}
-	return out
+	for _, tx := range p.sched.Rounds[t] {
+		dst = appendTransmission(dst, tx.Msg, tx.From, tx.To)
+	}
+	return dst
+}
+
+// appendImplicitRound evaluates round t from the closed forms into dst,
+// reusing a pooled internal buffer for the raw schedule-typed round.
+func appendImplicitRound(imp *implicit.Plan, t int, dst []Transmission) []Transmission {
+	sp := roundScratch.Get().(*[]schedule.Transmission)
+	raw := imp.RoundAppend(t, (*sp)[:0])
+	for _, tx := range raw {
+		dst = appendTransmission(dst, tx.Msg, tx.From, tx.To)
+	}
+	*sp = raw
+	roundScratch.Put(sp)
+	return dst
+}
+
+// roundScratch pools the schedule-typed round buffers behind RoundAppend,
+// so the implicit evaluation path stays allocation-free per call once the
+// pool is warm.
+var roundScratch = sync.Pool{New: func() any { s := make([]schedule.Transmission, 0, 16); return &s }}
+
+// appendTransmission appends one transmission to dst, reusing the To slice
+// of the spare slot dst grows into when its capacity suffices.
+func appendTransmission(dst []Transmission, msg, from int, to []int) []Transmission {
+	var dests []int
+	if len(dst) < cap(dst) {
+		dests = dst[len(dst) : len(dst)+1][0].To[:0]
+	}
+	if cap(dests) < len(to) {
+		dests = make([]int, 0, len(to))
+	}
+	dests = append(dests, to...)
+	return append(dst, Transmission{Message: msg, From: from, To: dests})
 }
 
 // Verify re-validates the plan against the communication model and checks
 // that gossiping completes; it returns nil for every plan this package
 // produces and exists so users can assert it cheaply in their own tests.
+// Verify replays every delivery, so it materialises the full schedule.
 func (p *Plan) Verify() error {
-	_, err := schedule.CheckGossip(p.network, p.result.Schedule)
+	_, err := schedule.CheckGossip(p.network, p.schedule())
 	return err
 }
 
 // TimetableOf renders processor v's schedule in the format of the paper's
 // Tables 1-4 (receive/send rows against parent and children in the
-// spanning tree).
+// spanning tree). Implicit-backed plans evaluate only v's own rows from
+// the closed forms — O(rounds) work, no materialisation.
 func (p *Plan) TimetableOf(v int) string {
-	return trace.FormatTimetable(schedule.VertexView(p.result.Schedule, p.result.Tree, v))
+	if p.imp != nil {
+		return trace.FormatTimetable(p.imp.Timetable(v))
+	}
+	tree, _ := p.treeLabeled()
+	return trace.FormatTimetable(schedule.VertexView(p.sched, tree, v))
 }
 
 // TreeString renders the spanning tree the plan communicates over,
 // annotated with each processor's DFS message label and level.
 func (p *Plan) TreeString() string {
-	l := p.result.Labeled
-	return trace.FormatTree(p.result.Tree, func(v int) string {
-		return fmt.Sprintf("[msg %d, level %d]", l.LabelOf[v], p.result.Tree.Level[v])
+	tree, l := p.treeLabeled()
+	return trace.FormatTree(tree, func(v int) string {
+		return fmt.Sprintf("[msg %d, level %d]", l.LabelOf[v], tree.Level[v])
 	})
 }
 
 // Stats summarises the plan: rounds, transmissions, deliveries, fanout and
-// slot utilisation.
-func (p *Plan) Stats() string { return schedule.Measure(p.result.Schedule).String() }
+// slot utilisation. It walks every delivery and therefore materialises the
+// full schedule.
+func (p *Plan) Stats() string { return schedule.Measure(p.schedule()).String() }
 
 // ExecuteDistributed replays the plan with one goroutine per processor,
 // each deriving its transmissions purely from its local tuple
@@ -346,7 +471,7 @@ func (p *Plan) Stats() string { return schedule.Measure(p.result.Schedule).Strin
 // the run violates the model or deviates from the offline schedule.
 // Only ConcurrentUpDown and Simple plans are supported.
 func (p *Plan) ExecuteDistributed() (int, error) {
-	l := p.result.Labeled
+	_, l := p.treeLabeled()
 	var protos []online.Protocol
 	var want *schedule.Schedule
 	switch p.algo {

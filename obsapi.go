@@ -131,7 +131,7 @@ func (p *Plan) ExecuteTraced(observer RoundObserver) (TraceReport, error) {
 	progress := obs.NewProgressCollector(n, n*n)
 	ro := obs.Multi(observer, progress)
 	ro.BeginPhase("schedule", p.algo.String())
-	res, err := schedule.Run(p.network, p.result.Schedule, schedule.Options{Observer: ro})
+	res, err := schedule.Run(p.network, p.schedule(), schedule.Options{Observer: ro})
 	ro.EndPhase("schedule")
 	if err != nil {
 		return TraceReport{}, err
@@ -142,7 +142,7 @@ func (p *Plan) ExecuteTraced(observer RoundObserver) (TraceReport, error) {
 		deliveries += r.Delivered
 	}
 	return TraceReport{
-		Rounds:           p.result.Schedule.Time(),
+		Rounds:           p.schedule().Time(),
 		Deliveries:       deliveries,
 		WastedDeliveries: res.WastedDeliveries,
 		CompleteAt:       res.CompleteAt,
