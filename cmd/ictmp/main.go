@@ -1,0 +1,31 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/implicit"
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+func main() {
+	for _, n := range []int{2000, 8000, 32000} {
+		g := graph.Cycle(n)
+		tree, err := spantree.MinDepth(g)
+		if err != nil {
+			panic(err)
+		}
+		p := implicit.New(spantree.Label(tree))
+		var buf []schedule.Transmission
+		start := time.Now()
+		total := 0
+		for t := 0; t < p.Rounds(); t++ {
+			buf = p.RoundAppend(t, buf[:0])
+			total += len(buf)
+		}
+		el := time.Since(start)
+		fmt.Printf("ring n=%d rounds=%d height=%d sweep=%v (%v/round) tx=%d\n", n, p.Rounds(), p.Height(), el, el/time.Duration(p.Rounds()), total)
+	}
+}
