@@ -112,6 +112,21 @@ func (pc *PlanCache) PlanSourced(nw *Network, opts ...PlanOption) (*Plan, CacheS
 	})
 }
 
+// lookup fetches the plan cached under (fingerprint, algo) without
+// building on a miss; the churn layer probes with it before patching.
+func (pc *PlanCache) lookup(fp uint64, algo Algorithm) (*Plan, bool) {
+	return pc.c.Lookup(plancache.Key{Fingerprint: fp, Algo: int(algo)})
+}
+
+// put publishes an externally built plan — a DynamicPlanner's patched or
+// rebound plan — under (fingerprint, algo). Patched plans are re-keyed by
+// the mutated topology's fingerprint, so a later Plan request for the same
+// edge set hits the patch instead of rebuilding; like every cached plan
+// they are immutable and shared, never copied.
+func (pc *PlanCache) put(fp uint64, algo Algorithm, p *Plan) {
+	pc.c.Put(plancache.Key{Fingerprint: fp, Algo: int(algo)}, p, p.SizeBytes())
+}
+
 // Contains reports whether a plan for the network under the given options
 // is cached, without touching LRU order or the hit/miss counters.
 func (pc *PlanCache) Contains(nw *Network, opts ...PlanOption) bool {

@@ -1,0 +1,357 @@
+package multigossip
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"multigossip/internal/graph"
+)
+
+// wheel returns a hub-and-ring network: processor 0 links to every other,
+// and 1..n-1 form a ring. Radius 1, so the quality bound is tight and
+// graft-degradation scenarios are easy to stage.
+func wheel(n int) *Network {
+	nw := NewNetwork(n)
+	for v := 1; v < n; v++ {
+		nw.AddLink(0, v)
+		next := v + 1
+		if next == n {
+			next = 1
+		}
+		nw.AddLink(v, next)
+	}
+	return nw
+}
+
+func mustDynamic(t *testing.T, nw *Network, opts ...DynamicOption) *DynamicPlanner {
+	t.Helper()
+	dp, err := NewDynamicPlanner(nw, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dp
+}
+
+func TestDynamicPlannerAddReusesPlan(t *testing.T) {
+	dp := mustDynamic(t, Ring(16))
+	before := dp.Plan()
+	outcome, err := dp.AddLink(0, 8)
+	if err != nil || outcome != PatchReused {
+		t.Fatalf("add: outcome %v, err %v; want reused", outcome, err)
+	}
+	after := dp.Plan()
+	if after.imp != before.imp {
+		t.Error("add rebuilt the compact plan instead of sharing it")
+	}
+	if !after.network.HasEdge(0, 8) {
+		t.Error("rebound plan's snapshot is missing the added link")
+	}
+	if err := after.Verify(); err != nil {
+		t.Errorf("rebound plan failed verification: %v", err)
+	}
+	if outcome, err := dp.AddLink(0, 8); err != nil || outcome != PatchUnchanged {
+		t.Errorf("duplicate add: outcome %v, err %v; want unchanged", outcome, err)
+	}
+}
+
+func TestDynamicPlannerNonTreeRemovalReuses(t *testing.T) {
+	nw := Ring(16)
+	nw.AddLink(3, 11) // a chord no minimum-depth tree of the augmented ring needs? not guaranteed — query the plan
+	dp := mustDynamic(t, nw)
+	tree, _ := dp.Plan().treeLabeled()
+	// Find a non-tree link to remove.
+	var u, v int = -1, -1
+	for _, e := range dp.Plan().network.Edges() {
+		if tree.Parent[e.U] != e.V && tree.Parent[e.V] != e.U {
+			u, v = e.U, e.V
+			break
+		}
+	}
+	if u < 0 {
+		t.Fatal("no non-tree link in the augmented ring")
+	}
+	before := dp.Plan()
+	outcome, err := dp.RemoveLink(u, v)
+	if err != nil || outcome != PatchReused {
+		t.Fatalf("non-tree removal: outcome %v, err %v; want reused", outcome, err)
+	}
+	if dp.Plan().imp != before.imp {
+		t.Error("non-tree removal rebuilt the compact plan")
+	}
+	if err := dp.Plan().Verify(); err != nil {
+		t.Errorf("reused plan failed verification: %v", err)
+	}
+}
+
+func TestDynamicPlannerGraftsTreeEdge(t *testing.T) {
+	dp := mustDynamic(t, Ring(16))
+	tree, _ := dp.Plan().treeLabeled()
+	var u, v int = -1, -1
+	for _, e := range dp.Plan().network.Edges() {
+		if tree.Parent[e.U] == e.V || tree.Parent[e.V] == e.U {
+			u, v = e.U, e.V
+			break
+		}
+	}
+	outcome, err := dp.RemoveLink(u, v)
+	if err != nil || outcome != PatchGrafted {
+		t.Fatalf("tree-edge removal: outcome %v, err %v; want grafted", outcome, err)
+	}
+	p := dp.Plan()
+	if p.network.HasEdge(u, v) {
+		t.Error("grafted plan's snapshot still has the removed link")
+	}
+	if err := p.Verify(); err != nil {
+		t.Errorf("grafted plan failed verification: %v", err)
+	}
+	if want := p.network.N() + p.radius; p.Rounds() != want {
+		t.Errorf("grafted plan runs %d rounds, want n+height = %d", p.Rounds(), want)
+	}
+}
+
+func TestDynamicPlannerRefusesDisconnection(t *testing.T) {
+	dp := mustDynamic(t, Line(8))
+	before := dp.Plan()
+	outcome, err := dp.RemoveLink(3, 4)
+	if !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("bridge removal error %v does not wrap ErrDisconnected", err)
+	}
+	if outcome != PatchUnchanged || dp.Plan() != before {
+		t.Error("refused removal disturbed the served plan")
+	}
+	if outcome, err := dp.RemoveLink(0, 5); err != nil || outcome != PatchUnchanged {
+		t.Errorf("absent removal: outcome %v, err %v; want unchanged no-op", outcome, err)
+	}
+}
+
+// TestDynamicPlannerQualityRebuild stages a graft that degrades the tree
+// past the height bound on a quiet link: the planner must rebuild cold and
+// reset its baseline.
+func TestDynamicPlannerQualityRebuild(t *testing.T) {
+	dp := mustDynamic(t, wheel(16))
+	if r := dp.Plan().Radius(); r != 1 {
+		t.Fatalf("wheel radius %d, want 1", r)
+	}
+	// First spoke removal grafts 5 under a ring neighbour: height 2, within
+	// the 2x bound.
+	if outcome, _ := dp.RemoveLink(0, 5); outcome != PatchGrafted {
+		t.Fatalf("first spoke removal outcome %v, want grafted", outcome)
+	}
+	// Removing the adjacent spoke severs {4, 5}; the subtree re-attaches at
+	// depth 3 > 2x1, and the link is quiet, so the planner rebuilds.
+	outcome, err := dp.RemoveLink(0, 4)
+	if err != nil || outcome != PatchRebuilt {
+		t.Fatalf("degrading removal: outcome %v, err %v; want rebuilt", outcome, err)
+	}
+	p := dp.Plan()
+	if p.radius != 2 || dp.baseRadius != 2 {
+		t.Errorf("rebuild radius %d (baseline %d), want 2", p.radius, dp.baseRadius)
+	}
+	if err := p.Verify(); err != nil {
+		t.Errorf("rebuilt plan failed verification: %v", err)
+	}
+}
+
+// TestDynamicPlannerFlapHysteresis drives the degrading removal of
+// TestDynamicPlannerQualityRebuild off a flapping link under an injected
+// clock: within the window the rebuild is suppressed and the degraded (but
+// valid) graft is served; past the window the same removal rebuilds. The
+// flap history is seeded directly — after any graft or rebuild the toggled
+// link leaves the spanning tree, so a naturally flapping link only re-enters
+// the tree through a later rebuild, and seeding keeps the scenario
+// deterministic.
+func TestDynamicPlannerFlapHysteresis(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	now := func() time.Time { return clock }
+	run := func(flapping bool) (PatchOutcome, *DynamicPlanner) {
+		dp := mustDynamic(t, wheel(16), WithFlapWindow(time.Second), WithClock(now))
+		if outcome, _ := dp.RemoveLink(0, 5); outcome != PatchGrafted {
+			t.Fatal("setup graft failed")
+		}
+		if flapping {
+			dp.lastTouch[graph.Edge{U: 0, V: 4}] = clock.Add(-100 * time.Millisecond)
+		} else {
+			dp.lastTouch[graph.Edge{U: 0, V: 4}] = clock.Add(-2 * time.Second)
+		}
+		outcome, err := dp.RemoveLink(0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome, dp
+	}
+
+	outcome, dp := run(true)
+	if outcome != PatchSuppressed {
+		t.Fatalf("flapping degraded removal outcome %v, want suppressed", outcome)
+	}
+	served := dp.Plan()
+	if served.radius <= dp.maxHeight() {
+		t.Errorf("suppressed outcome but height %d within bound %d", served.radius, dp.maxHeight())
+	}
+	if err := served.Verify(); err != nil {
+		t.Errorf("plan served under suppression failed verification: %v", err)
+	}
+
+	if outcome, _ := run(false); outcome != PatchRebuilt {
+		t.Errorf("quiet degraded removal outcome %v, want rebuilt (hysteresis must require a flap)", outcome)
+	}
+}
+
+// TestDynamicPlannerFingerprintRestore checks the flap round trip through
+// the cache: removing and re-adding a tree link restores the exact original
+// plan object, because the XOR fingerprint returns bit-identically.
+func TestDynamicPlannerFingerprintRestore(t *testing.T) {
+	cache := NewPlanCache()
+	dp := mustDynamic(t, Ring(16), WithPlanCache(cache))
+	original := dp.Plan()
+	tree, _ := original.treeLabeled()
+	var u, v int = -1, -1
+	for _, e := range original.network.Edges() {
+		if tree.Parent[e.U] == e.V || tree.Parent[e.V] == e.U {
+			u, v = e.U, e.V
+			break
+		}
+	}
+	if outcome, _ := dp.RemoveLink(u, v); outcome != PatchGrafted {
+		t.Fatal("tree-edge removal should graft")
+	}
+	outcome, err := dp.AddLink(u, v)
+	if err != nil || outcome != PatchReused {
+		t.Fatalf("restoring add: outcome %v, err %v", outcome, err)
+	}
+	if dp.Plan() != original {
+		t.Error("flap round trip did not restore the original cached plan")
+	}
+}
+
+// TestDynamicPlannerCounters checks the obs registry wiring end to end.
+func TestDynamicPlannerCounters(t *testing.T) {
+	m := NewMetrics()
+	cache := NewPlanCache()
+	dp := mustDynamic(t, wheel(16), WithChurnMetrics(m), WithPlanCache(cache))
+	dp.AddLink(2, 9)    // reused
+	dp.RemoveLink(2, 9) // reused (fingerprint restore)
+	dp.RemoveLink(0, 5) // grafted
+	dp.RemoveLink(0, 4) // rebuilt (degraded, quiet)
+	if _, err := dp.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	want := map[string]int64{
+		"churn_reused_total":     2,
+		"churn_patched_total":    1,
+		"churn_rebuilt_total":    2,
+		"churn_suppressed_total": 0,
+	}
+	for name, v := range want {
+		if got := snap.Counters[name]; got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+}
+
+// TestChurnSmoke is the make churn-smoke entry point: a seeded flap
+// sequence on a ring and a random network (n=1024), with the full
+// Plan.Verify certifier on every patch and a model-checked full-coverage
+// execution (that is what Verify replays) after every mutation.
+func TestChurnSmoke(t *testing.T) {
+	const n = 1024
+	rng := rand.New(rand.NewSource(42))
+	nets := map[string]*Network{
+		"ring1024":   Ring(n),
+		"random1024": RandomNetwork(rand.New(rand.NewSource(7)), n, 0.004),
+	}
+	for name, nw := range nets {
+		t.Run(name, func(t *testing.T) {
+			clock := time.Unix(0, 0)
+			cache := NewPlanCache()
+			dp, err := NewDynamicPlanner(nw,
+				WithPatchVerify(),
+				WithPlanCache(cache),
+				WithFlapWindow(time.Second),
+				WithClock(func() time.Time { return clock }),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outcomes := map[PatchOutcome]int{}
+			for step := 0; step < 24; step++ {
+				clock = clock.Add(time.Duration(rng.Intn(2000)) * time.Millisecond)
+				var outcome PatchOutcome
+				if step%2 == 0 {
+					// Remove an existing link, picked at random.
+					edges := nw.snapshotGraph().Edges()
+					e := edges[rng.Intn(len(edges))]
+					outcome, err = dp.RemoveLink(e.U, e.V)
+					if errors.Is(err, ErrDisconnected) {
+						err = nil // refused bridge removals are legal no-ops
+					}
+				} else {
+					u, v := rng.Intn(n), rng.Intn(n)
+					if u == v {
+						continue
+					}
+					outcome, err = dp.AddLink(u, v)
+				}
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				outcomes[outcome]++
+				p := dp.Plan()
+				if p.Rounds() != n+p.radius {
+					t.Fatalf("step %d: %d rounds, want n+height = %d", step, p.Rounds(), n+p.radius)
+				}
+				// Rebound plans share an already-certified compact core;
+				// re-verifying them would re-materialise Θ(n²) deliveries per
+				// step for no new information. Every structurally new plan —
+				// graft, suppressed graft, rebuild — is fully verified (the
+				// graft path additionally self-certifies via WithPatchVerify).
+				if outcome == PatchGrafted || outcome == PatchSuppressed || outcome == PatchRebuilt {
+					if err := p.Verify(); err != nil {
+						t.Fatalf("step %d (%v): served plan failed verification: %v", step, outcome, err)
+					}
+				}
+			}
+			if err := dp.Plan().Verify(); err != nil {
+				t.Fatalf("final plan failed verification: %v", err)
+			}
+			if outcomes[PatchGrafted]+outcomes[PatchRebuilt]+outcomes[PatchSuppressed] == 0 {
+				t.Error("churn sequence never exercised a structural patch; widen the flap mix")
+			}
+			t.Logf("%s outcomes: %v", name, outcomes)
+		})
+	}
+}
+
+// TestPatchOutcomeString pins the wire names the serving API exposes.
+func TestPatchOutcomeString(t *testing.T) {
+	cases := map[PatchOutcome]string{
+		PatchUnchanged:   "unchanged",
+		PatchReused:      "reused",
+		PatchGrafted:     "grafted",
+		PatchRebuilt:     "rebuilt",
+		PatchSuppressed:  "suppressed",
+		PatchOutcome(99): "PatchOutcome(99)",
+	}
+	for o, want := range cases {
+		if got := o.String(); got != want {
+			t.Errorf("PatchOutcome(%d).String() = %q, want %q", int(o), got, want)
+		}
+	}
+}
+
+// TestWithHeightFactor checks the quality bound wiring: the factor scales
+// the base radius and sub-1 factors clamp to 1 (a bound below the cold
+// radius would rebuild on every graft).
+func TestWithHeightFactor(t *testing.T) {
+	dp := mustDynamic(t, wheel(8), WithHeightFactor(3))
+	if got := dp.maxHeight(); got != 3 {
+		t.Fatalf("maxHeight %d with factor 3 on radius 1, want 3", got)
+	}
+	dp = mustDynamic(t, wheel(8), WithHeightFactor(0.25))
+	if got := dp.maxHeight(); got != 1 {
+		t.Fatalf("maxHeight %d with clamped factor, want 1", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"multigossip"
@@ -41,6 +42,12 @@ type server struct {
 	timeout time.Duration
 	start   time.Time
 
+	// sessions holds the named churn sessions /mutate drives. sessionsMu
+	// guards the map only; each session has its own lock because a
+	// DynamicPlanner is not safe for concurrent use.
+	sessionsMu sync.Mutex
+	sessions   map[string]*churnSession
+
 	reqs, rejected, clientErrs, serverErrs *multigossip.MetricsCounter
 	latency                                *multigossip.MetricsHistogram
 }
@@ -57,6 +64,7 @@ func newServer(cfg serverConfig) *server {
 	}
 	m := multigossip.NewMetrics()
 	return &server{
+		sessions: make(map[string]*churnSession),
 		cache: multigossip.NewPlanCache(
 			multigossip.WithCacheCapacity(cfg.cacheEntries),
 			multigossip.WithCacheBytes(cfg.cacheBytes),
@@ -81,6 +89,7 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /plan", s.bounded(s.handlePlan))
 	mux.HandleFunc("POST /execute", s.bounded(s.handleExecute))
+	mux.HandleFunc("POST /mutate", s.bounded(s.handleMutate))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -160,16 +169,18 @@ type topologySpec struct {
 	Edges      [][2]int `json:"edges"`
 }
 
-// buildNetwork materialises the spec. Invalid parameters (including edge
-// indices out of range) come back as errors, not panics.
-func buildNetwork(spec topologySpec) (nw *multigossip.Network, err error) {
+// buildNetwork materialises the spec. Every invalid parameter — negative,
+// out-of-range or self-loop edge indices included — comes back as a
+// descriptive error before any link is applied, never as a panic. (An
+// earlier version validated only the upper bound explicitly and let
+// negative indices fall through to the library panic, which the handler's
+// recover turned into an opaque 400; checkEdge closes that gap.)
+func buildNetwork(spec topologySpec) (*multigossip.Network, error) {
 	if len(spec.Edges) > 0 {
-		defer func() {
-			if r := recover(); r != nil {
-				nw, err = nil, fmt.Errorf("invalid edge list: %v", r)
-			}
-		}()
 		n := spec.Processors
+		if n < 0 {
+			return nil, fmt.Errorf("invalid processors %d: must be non-negative", n)
+		}
 		if n == 0 {
 			for _, e := range spec.Edges {
 				if e[0] >= n {
@@ -180,7 +191,12 @@ func buildNetwork(spec topologySpec) (nw *multigossip.Network, err error) {
 				}
 			}
 		}
-		nw = multigossip.NewNetwork(n)
+		for i, e := range spec.Edges {
+			if err := checkEdge(e[0], e[1], n); err != nil {
+				return nil, fmt.Errorf("invalid edge list: edges[%d]: %w", i, err)
+			}
+		}
+		nw := multigossip.NewNetwork(n)
 		for _, e := range spec.Edges {
 			nw.AddLink(e[0], e[1])
 		}
@@ -193,6 +209,19 @@ func buildNetwork(spec topologySpec) (nw *multigossip.Network, err error) {
 		N: spec.N, Rows: spec.Rows, Cols: spec.Cols, Dim: spec.Dim,
 		P: spec.P, Radio: spec.Radio, Seed: spec.Seed,
 	})
+}
+
+// checkEdge validates one endpoint pair against processor count n.
+func checkEdge(u, v, n int) error {
+	switch {
+	case u < 0 || v < 0:
+		return fmt.Errorf("negative processor index in {%d, %d}", u, v)
+	case u >= n || v >= n:
+		return fmt.Errorf("processor index out of range in {%d, %d}: network has %d processors", u, v, n)
+	case u == v:
+		return fmt.Errorf("self-loop at processor %d", u)
+	}
+	return nil
 }
 
 func parseAlgorithm(name string) (multigossip.Algorithm, error) {
@@ -416,6 +445,157 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) (int, err
 		out.QuarantinedLinks = append(out.QuarantinedLinks, [2]int{l.U, l.V})
 	}
 	writeJSON(w, http.StatusOK, out)
+	return 0, nil
+}
+
+// maxChurnSessions bounds the named-session map: sessions are created on
+// first use and live for the process, so without a cap an open-loop client
+// inventing session names would grow the server without bound.
+const maxChurnSessions = 64
+
+// churnSession is one named dynamic topology: a network plus the
+// DynamicPlanner keeping its plan current. The planner is not safe for
+// concurrent use, so every request touching the session holds mu.
+type churnSession struct {
+	mu sync.Mutex
+	nw *multigossip.Network
+	dp *multigossip.DynamicPlanner
+}
+
+// mutationSpec is one topology mutation of a /mutate request.
+type mutationSpec struct {
+	Op string `json:"op"` // "add" or "remove"
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+}
+
+// mutateRequest drives a named churn session. The first request for a
+// session name must carry a topology spec (inline edges or a named family)
+// and may set the flap hysteresis window; later requests address the
+// session by name alone and the spec is ignored. Mutations apply in order.
+type mutateRequest struct {
+	topologySpec
+	Session      string         `json:"session"`
+	FlapWindowMS int            `json:"flap_window_ms"`
+	Mutations    []mutationSpec `json:"mutations"`
+}
+
+// mutationResult reports how the planner absorbed one mutation. A refused
+// removal (one that would disconnect the network) is not a request error:
+// the outcome is "unchanged" and Error carries the refusal, under HTTP 200,
+// so a batch keeps applying past it.
+type mutationResult struct {
+	Op      string `json:"op"`
+	U       int    `json:"u"`
+	V       int    `json:"v"`
+	Outcome string `json:"outcome"`
+	Error   string `json:"error,omitempty"`
+}
+
+// mutateResponse summarises the session's served plan after the batch.
+type mutateResponse struct {
+	Session     string           `json:"session"`
+	Created     bool             `json:"created"`
+	Fingerprint string           `json:"fingerprint"`
+	Processors  int              `json:"processors"`
+	Links       int              `json:"links"`
+	Radius      int              `json:"radius"`
+	Rounds      int              `json:"rounds"`
+	Results     []mutationResult `json:"results"`
+}
+
+// session returns the named churn session, creating it from the request's
+// topology spec on first use. Sessions share the server's plan cache (so
+// /plan requests for a patched topology hit the patched plan) and metrics
+// registry (the churn_* counters aggregate across sessions).
+func (s *server) session(req mutateRequest) (sess *churnSession, created bool, status int, err error) {
+	s.sessionsMu.Lock()
+	defer s.sessionsMu.Unlock()
+	if sess, ok := s.sessions[req.Session]; ok {
+		return sess, false, 0, nil
+	}
+	if len(s.sessions) >= maxChurnSessions {
+		return nil, false, http.StatusTooManyRequests,
+			fmt.Errorf("session limit reached (%d)", maxChurnSessions)
+	}
+	nw, err := buildNetwork(req.topologySpec)
+	if err != nil {
+		return nil, false, http.StatusBadRequest, err
+	}
+	opts := []multigossip.DynamicOption{
+		multigossip.WithPlanCache(s.cache),
+		multigossip.WithChurnMetrics(s.metrics),
+	}
+	if req.FlapWindowMS > 0 {
+		opts = append(opts, multigossip.WithFlapWindow(time.Duration(req.FlapWindowMS)*time.Millisecond))
+	}
+	dp, err := multigossip.NewDynamicPlanner(nw, opts...)
+	if err != nil {
+		if errors.Is(err, multigossip.ErrDisconnected) {
+			return nil, false, http.StatusUnprocessableEntity, err
+		}
+		return nil, false, http.StatusBadRequest, err
+	}
+	sess = &churnSession{nw: nw, dp: dp}
+	s.sessions[req.Session] = sess
+	return sess, true, 0, nil
+}
+
+func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req mutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
+	}
+	if req.Session == "" {
+		return http.StatusBadRequest, errors.New("request names no session")
+	}
+	for i, m := range req.Mutations {
+		if m.Op != "add" && m.Op != "remove" {
+			return http.StatusBadRequest,
+				fmt.Errorf("mutations[%d]: unknown op %q (want add or remove)", i, m.Op)
+		}
+	}
+	sess, created, status, err := s.session(req)
+	if err != nil {
+		return status, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	// Index validation against the session's real processor count, before
+	// any mutation applies — a half-applied batch with a 400 at the end
+	// would leave the session in a state the client can't see.
+	n := sess.nw.Processors()
+	for i, m := range req.Mutations {
+		if err := checkEdge(m.U, m.V, n); err != nil {
+			return http.StatusBadRequest, fmt.Errorf("mutations[%d]: %w", i, err)
+		}
+	}
+	results := make([]mutationResult, 0, len(req.Mutations))
+	for _, m := range req.Mutations {
+		var outcome multigossip.PatchOutcome
+		var err error
+		if m.Op == "add" {
+			outcome, err = sess.dp.AddLink(m.U, m.V)
+		} else {
+			outcome, err = sess.dp.RemoveLink(m.U, m.V)
+		}
+		res := mutationResult{Op: m.Op, U: m.U, V: m.V, Outcome: outcome.String()}
+		if err != nil {
+			res.Error = err.Error()
+		}
+		results = append(results, res)
+	}
+	plan := sess.dp.Plan()
+	writeJSON(w, http.StatusOK, mutateResponse{
+		Session:     req.Session,
+		Created:     created,
+		Fingerprint: fmt.Sprintf("%016x", sess.nw.Fingerprint()),
+		Processors:  sess.nw.Processors(),
+		Links:       sess.nw.Links(),
+		Radius:      plan.Radius(),
+		Rounds:      plan.Rounds(),
+		Results:     results,
+	})
 	return 0, nil
 }
 

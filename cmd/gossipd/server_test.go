@@ -193,6 +193,9 @@ func TestInvalidRequests(t *testing.T) {
 		{"negative n", map[string]any{"topology": "line", "n": -4}},
 		{"no topology", map[string]any{}},
 		{"bad edge index", map[string]any{"processors": 3, "edges": [][2]int{{0, 9}}}},
+		{"negative edge index", map[string]any{"processors": 3, "edges": [][2]int{{-1, 2}}}},
+		{"both endpoints negative", map[string]any{"edges": [][2]int{{-3, -7}}}},
+		{"negative processors", map[string]any{"processors": -2, "edges": [][2]int{{0, 1}}}},
 		{"self-loop edge", map[string]any{"processors": 3, "edges": [][2]int{{1, 1}}}},
 		{"unknown algorithm", map[string]any{"topology": "ring", "n": 8, "algorithm": "quantum"}},
 		{"bad fault option", map[string]any{"topology": "ring", "n": 8, "link_loss": 1.5}},
@@ -215,6 +218,192 @@ func TestInvalidRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("truncated JSON: status %d, want 400", resp.StatusCode)
+	}
+
+	// Negative indices must be rejected by validation with a descriptive
+	// message, not caught falling out of the library as a panic.
+	status, body := post(t, ts.URL, "/plan", map[string]any{"processors": 3, "edges": [][2]int{{-1, 2}}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("negative index: status %d, want 400", status)
+	}
+	var e apiError
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "negative processor index") || strings.Contains(e.Error, "panic") {
+		t.Errorf("negative index error %q: want a clean validation message naming the negative index", e.Error)
+	}
+}
+
+// wheelSpec is a wheel topology as an inline edge list: hub 0 linked to
+// every rim vertex 1..n-1, rim closed into a ring. Radius 1 through the
+// hub; losing a hub spoke still leaves the rim path — the graftable case.
+func wheelSpec(n int) map[string]any {
+	var edges [][2]int
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	for i := 1; i < n-1; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	edges = append(edges, [2]int{n - 1, 1})
+	return map[string]any{"processors": n, "edges": edges}
+}
+
+// TestMutateEndpoint drives one named churn session through the full
+// outcome range: creation, a grafted tree repair, a fingerprint-restoring
+// flap back to the original plan, and a non-tree removal that reuses the
+// plan verbatim — then checks the churn counters surfaced on /metrics.
+func TestMutateEndpoint(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	create := wheelSpec(8)
+	create["session"] = "wheel"
+	status, body := post(t, ts.URL, "/mutate", create)
+	if status != http.StatusOK {
+		t.Fatalf("create: status %d: %s", status, body)
+	}
+	var created mutateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	if !created.Created || created.Radius != 1 || created.Processors != 8 || len(created.Fingerprint) != 16 {
+		t.Fatalf("create response %+v, want created radius-1 8-processor session", created)
+	}
+
+	mutate := func(op string, u, v int) mutateResponse {
+		t.Helper()
+		status, body := post(t, ts.URL, "/mutate", map[string]any{
+			"session":   "wheel",
+			"mutations": []map[string]any{{"op": op, "u": u, "v": v}},
+		})
+		if status != http.StatusOK {
+			t.Fatalf("%s {%d,%d}: status %d: %s", op, u, v, status, body)
+		}
+		var resp mutateResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Created || len(resp.Results) != 1 {
+			t.Fatalf("%s {%d,%d}: response %+v, want one result on the existing session", op, u, v, resp)
+		}
+		return resp
+	}
+
+	// Losing a hub spoke severs rim vertex 5 from the tree; the graft
+	// reattaches it through a rim link.
+	grafted := mutate("remove", 0, 5)
+	if grafted.Results[0].Outcome != "grafted" || grafted.Results[0].Error != "" {
+		t.Fatalf("spoke removal result %+v, want grafted", grafted.Results[0])
+	}
+	if grafted.Radius <= created.Radius || grafted.Fingerprint == created.Fingerprint {
+		t.Fatalf("graft kept radius %d and fingerprint %s", grafted.Radius, grafted.Fingerprint)
+	}
+
+	// Re-adding the spoke restores the original fingerprint bit-identically,
+	// so the planner serves the cached original plan again.
+	restored := mutate("add", 0, 5)
+	if restored.Results[0].Outcome != "reused" || restored.Fingerprint != created.Fingerprint || restored.Radius != 1 {
+		t.Fatalf("flap home result %+v (fp %s), want reused with the original fingerprint", restored.Results[0], restored.Fingerprint)
+	}
+
+	// A rim link is not a tree edge: the plan survives verbatim.
+	rim := mutate("remove", 2, 3)
+	if rim.Results[0].Outcome != "reused" || rim.Links != created.Links-1 {
+		t.Fatalf("rim removal result %+v with %d links, want reused with one fewer link", rim.Results[0], rim.Links)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"churn_patched_total 1", "churn_reused_total 2"} {
+		if !strings.Contains(string(dump), want) {
+			t.Errorf("metrics dump missing %q", want)
+		}
+	}
+}
+
+// TestMutateRefusedRemoval checks the disconnection path: removing a bridge
+// is refused per-mutation (outcome unchanged, error recorded) under an
+// overall 200, and later mutations in the batch still apply.
+func TestMutateRefusedRemoval(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	status, body := post(t, ts.URL, "/mutate", map[string]any{
+		"session": "line", "topology": "line", "n": 4,
+		"mutations": []map[string]any{
+			{"op": "remove", "u": 1, "v": 2}, // bridge: refused
+			{"op": "add", "u": 0, "v": 2},    // still applies
+		},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp mutateResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("results %+v, want 2", resp.Results)
+	}
+	if resp.Results[0].Outcome != "unchanged" || !strings.Contains(resp.Results[0].Error, "disconnect") {
+		t.Fatalf("bridge removal result %+v, want unchanged with a disconnection error", resp.Results[0])
+	}
+	if resp.Results[1].Outcome != "reused" || resp.Results[1].Error != "" {
+		t.Fatalf("chord add result %+v, want reused", resp.Results[1])
+	}
+	if resp.Links != 4 {
+		t.Fatalf("links %d after refused removal + add, want 4", resp.Links)
+	}
+}
+
+// TestMutateInvalid maps the /mutate error space: missing session name,
+// unknown session with no topology, unknown op, and out-of-range or
+// negative indices (validated against the session's processor count before
+// any mutation applies).
+func TestMutateInvalid(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	if status, body := post(t, ts.URL, "/mutate", map[string]any{"session": "s", "topology": "ring", "n": 8}); status != http.StatusOK {
+		t.Fatalf("create: status %d: %s", status, body)
+	}
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"no session", map[string]any{"topology": "ring", "n": 8}},
+		{"unknown session without topology", map[string]any{"session": "ghost"}},
+		{"unknown op", map[string]any{"session": "s", "mutations": []map[string]any{{"op": "toggle", "u": 0, "v": 1}}}},
+		{"index out of range", map[string]any{"session": "s", "mutations": []map[string]any{{"op": "add", "u": 0, "v": 8}}}},
+		{"negative index", map[string]any{"session": "s", "mutations": []map[string]any{{"op": "remove", "u": -1, "v": 1}}}},
+		{"self-loop", map[string]any{"session": "s", "mutations": []map[string]any{{"op": "add", "u": 3, "v": 3}}}},
+		{"disconnected creation spec", map[string]any{"session": "split", "processors": 4, "edges": [][2]int{{0, 1}}}},
+	}
+	for _, c := range cases {
+		status, body := post(t, ts.URL, "/mutate", c.body)
+		want := http.StatusBadRequest
+		if c.name == "disconnected creation spec" {
+			want = http.StatusUnprocessableEntity
+		}
+		if status != want {
+			t.Errorf("%s: status %d (%s), want %d", c.name, status, body, want)
+		}
+	}
+	// The invalid mutations above must not have half-applied: the session's
+	// ring still has its original 8 links.
+	status, body := post(t, ts.URL, "/mutate", map[string]any{"session": "s"})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp mutateResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Links != 8 || resp.Created {
+		t.Fatalf("session state %+v after rejected batches, want untouched 8-link ring", resp)
 	}
 }
 

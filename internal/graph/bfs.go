@@ -65,6 +65,35 @@ func (g *Graph) BFSParents(src int) (parent, dist []int) {
 	return parent, dist
 }
 
+// Reachable reports whether v can be reached from u, by a BFS from u that
+// exits as soon as it discovers v. Used by Network.RemoveLink to decide
+// whether deleting {u, v} split the component the edge lived in: the
+// endpoints were connected through the edge, so they stay connected after
+// its removal exactly when some alternative u-v path survives.
+func (g *Graph) Reachable(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return true
+	}
+	seen := make([]bool, g.N())
+	seen[u] = true
+	queue := make([]int, 0, g.N())
+	queue = append(queue, u)
+	for head := 0; head < len(queue); head++ {
+		for _, w := range g.adj[queue[head]] {
+			if w == v {
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return false
+}
+
 // IsConnected reports whether the graph is connected. The empty graph and
 // the single-vertex graph are connected.
 func (g *Graph) IsConnected() bool {

@@ -1,16 +1,23 @@
 package graph
 
-// fingerprint.go content-addresses a graph: a 64-bit hash over the exact
-// CSR layout (vertex count, row offsets, column entries). Because AddEdge
-// keeps every adjacency list sorted, the layout — and therefore the
-// fingerprint — is a pure function of the vertex count and the edge set:
-// two graphs built from the same edges in any insertion order hash equal,
-// and any added or removed edge changes the row/col stream. The hash is
-// used by the plan cache as a content-addressed key, so it must be stable
-// within a process but carries no cross-version durability promise.
+// fingerprint.go content-addresses a graph: a 64-bit hash over the vertex
+// count and the exact edge set. The hash is an XOR fold of one full-avalanche
+// term per edge over a vertex-count base, which buys two properties at once:
+// insertion-order independence (XOR commutes), and O(1) incremental
+// maintenance — adding or removing edge {u, v} toggles exactly
+// EdgeHash(u, v) into the running value, so a churning network never pays
+// the O(n + m) rescan. Remove-then-re-add restores the original fingerprint
+// bit for bit (h ^ x ^ x == h), which is what lets fingerprint-keyed cache
+// entries survive link flaps. The hash is used by the plan cache as a
+// content-addressed key, so it must be stable within a process but carries
+// no cross-version durability promise.
 
-// fpSeed separates the fingerprint domain from other splitmix users.
-const fpSeed = 0x9e3779b97f4a7c15
+// fpSeed separates the fingerprint domain from other splitmix users;
+// fpEdgeSeed separates the per-edge terms from the vertex-count base.
+const (
+	fpSeed     = 0x9e3779b97f4a7c15
+	fpEdgeSeed = 0xc2b2ae3d27d4eb4f
+)
 
 // mix64 is the splitmix64 finalizer: a cheap full-avalanche bijection.
 func mix64(x uint64) uint64 {
@@ -22,20 +29,31 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// Fingerprint returns the 64-bit content hash of the graph. Equal vertex
-// counts and edge sets give equal fingerprints regardless of AddEdge order;
-// any structural difference changes the hash (up to 64-bit collisions).
-// It costs one pass over the adjacency structure, O(n + m).
+// EdgeHash returns the fingerprint contribution of the undirected edge
+// {u, v}: XOR-ing it into a graph's fingerprint accounts for adding the
+// edge, XOR-ing it again for removing it. Symmetric in its arguments, and
+// chained (not flat-XORed) across the two endpoints so that {0,3} and
+// {1,2} do not collide.
+func EdgeHash(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return mix64(mix64(fpEdgeSeed^uint64(u)) ^ uint64(v))
+}
+
+// Fingerprint returns the 64-bit content hash of the graph: equal vertex
+// counts and edge sets give equal fingerprints regardless of mutation
+// history; any structural difference changes the hash (up to 64-bit
+// collisions). It costs one pass over the adjacency structure, O(n + m);
+// callers that track their own mutations can instead fold EdgeHash deltas
+// into a cached value.
 func (g *Graph) Fingerprint() uint64 {
-	// Chain every value of the CSR stream through the finalizer so that
-	// position matters: hashing the row boundary before each vertex's
-	// columns disambiguates layouts like {0:[1,2]} vs {0:[1], 1:[2]} that
-	// a flat column hash would conflate.
 	h := mix64(fpSeed ^ uint64(len(g.adj)))
-	for _, nbrs := range g.adj {
-		h = mix64(h ^ uint64(len(nbrs)))
-		for _, w := range nbrs {
-			h = mix64(h ^ uint64(w))
+	for u, nbrs := range g.adj {
+		for _, v := range nbrs {
+			if u < v {
+				h ^= EdgeHash(u, v)
+			}
 		}
 	}
 	return h

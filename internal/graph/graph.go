@@ -48,21 +48,37 @@ func (g *Graph) check(v int) {
 	}
 }
 
-// AddEdge inserts the undirected edge {u, v}. Inserting an existing edge is
-// a no-op, so generators may add edges without bookkeeping. Self-loops are
-// rejected because the communication model never sends a message to its
-// current holder over a loop.
-func (g *Graph) AddEdge(u, v int) {
+// AddEdge inserts the undirected edge {u, v} and reports whether the graph
+// changed. Inserting an existing edge is a no-op returning false, so
+// generators may add edges without bookkeeping and incremental maintainers
+// (fingerprint deltas, metric repair) can tell a real mutation from a
+// duplicate. Self-loops are rejected because the communication model never
+// sends a message to its current holder over a loop.
+func (g *Graph) AddEdge(u, v int) bool {
 	g.check(u)
 	g.check(v)
 	if u == v {
 		panic(fmt.Sprintf("graph: self-loop at vertex %d", u))
 	}
 	if g.HasEdge(u, v) {
-		return
+		return false
 	}
 	g.adj[u] = insertSorted(g.adj[u], v)
 	g.adj[v] = insertSorted(g.adj[v], u)
+	return true
+}
+
+// RemoveEdge deletes the undirected edge {u, v} and reports whether it was
+// present (removing an absent edge is a no-op returning false).
+func (g *Graph) RemoveEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	g.adj[u] = removeSorted(g.adj[u], v)
+	g.adj[v] = removeSorted(g.adj[v], u)
+	return true
 }
 
 func insertSorted(s []int, x int) []int {
@@ -71,6 +87,12 @@ func insertSorted(s []int, x int) []int {
 	copy(s[i+1:], s[i:])
 	s[i] = x
 	return s
+}
+
+func removeSorted(s []int, x int) []int {
+	i := sort.SearchInts(s, x)
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
 }
 
 // HasEdge reports whether the undirected edge {u, v} is present.

@@ -1,0 +1,191 @@
+package graph
+
+// incremental.go repairs a full-sweep metric result after edge churn
+// instead of re-running the O(nm) sweep. The engine is a bounded variant of
+// the Takes–Kosters eccentricity-bounding technique, specialised to deltas:
+//
+// A single edge change moves every distance monotonically — adding an edge
+// can only shorten shortest paths, removing one can only lengthen them — so
+// the stale eccentricity vector is itself a valid one-sided bound on the new
+// one (an upper bound after additions, a lower bound after removals). The
+// other side is pinned from the affected region: exact BFS traversals seeded
+// at the changed edge's endpoints propagate the triangle-inequality bounds
+//
+//	ecc(v) >= max(d(s, v), ecc(s) - d(s, v))
+//	ecc(v) <= ecc(s) + d(s, v)
+//
+// to every vertex. Where the two sides meet, the stale entry is certified
+// exact and kept without a traversal; vertices whose bounds stay open are
+// resolved by further exact traversals, widest gap first. When the change is
+// local — the common case for a single link in a large network — the seed
+// traversals close every gap and the repair costs O(m) instead of O(nm).
+// When it is not (a chord that rewires half the distances), the BFS budget
+// runs out and the caller falls back to the full sweep; the repair never
+// returns an uncertified result.
+
+// EdgeDelta records one applied topology mutation: edge {U, V} was added
+// (Added) or removed (!Added). Deltas describe changes already present in
+// the graph they are applied against.
+type EdgeDelta struct {
+	U, V  int
+	Added bool
+}
+
+// repairBudget bounds the exact traversals a repair may spend before
+// declaring the change non-local: past n/8 sequential traversals the
+// parallel full sweep is the cheaper path anyway. The floor keeps small
+// graphs honest (seeds alone may need a handful).
+func repairBudget(n, seeds int) int {
+	b := n / 8
+	if m := seeds + 4; b < m {
+		b = m
+	}
+	return b
+}
+
+// RepairSweep updates a SweepAll result to match g after the given edge
+// deltas, certifying every eccentricity exactly. It returns (result, true)
+// on success and (nil, false) when it cannot certify cheaply — mixed
+// add/remove batches (no one-sided stale bound exists), a changed vertex
+// count, a disconnected graph, or a change so global the traversal budget
+// runs out. A false return is not an error: the caller re-sweeps.
+//
+// prev must be an exact full-sweep result (Mode SweepAll) for g as it was
+// before the deltas were applied; g must already contain the deltas.
+func RepairSweep(g *Graph, prev *SweepResult, deltas []EdgeDelta) (*SweepResult, bool) {
+	n := g.N()
+	if prev == nil || prev.Mode != SweepAll || len(prev.Ecc) != n || n == 0 || len(deltas) == 0 {
+		return nil, false
+	}
+	allAdd, allRemove := true, true
+	for _, d := range deltas {
+		if d.Added {
+			allRemove = false
+		} else {
+			allAdd = false
+		}
+	}
+	if !allAdd && !allRemove {
+		return nil, false
+	}
+
+	const unbounded = int32(1) << 30
+	lo := make([]int32, n)
+	hi := make([]int32, n)
+	for v := 0; v < n; v++ {
+		if allAdd {
+			// Distances only shrank: the stale eccentricity caps the new one.
+			lo[v], hi[v] = 0, int32(prev.Ecc[v])
+		} else {
+			// Distances only grew: the stale eccentricity floors the new one.
+			lo[v], hi[v] = int32(prev.Ecc[v]), unbounded
+		}
+	}
+
+	// Seed set: every endpoint of the changed region, deduplicated.
+	seen := make(map[int]bool, 2*len(deltas))
+	var seeds []int
+	for _, d := range deltas {
+		for _, s := range [2]int{d.U, d.V} {
+			if s >= 0 && s < n && !seen[s] {
+				seen[s] = true
+				seeds = append(seeds, s)
+			}
+		}
+	}
+
+	c := newCSR(g)
+	sc := newSweepScratch(n)
+	ecc := make([]int, n)
+	exact := make([]bool, n)
+	budget := repairBudget(n, len(seeds))
+
+	// resolve runs one exact traversal from x and tightens every bound.
+	resolve := func(x int) bool {
+		e, reached, _ := sc.bfs(c, int32(x), noCutoff)
+		if reached < n {
+			return false // disconnected: no eccentricity to certify
+		}
+		ecc[x] = int(e)
+		exact[x] = true
+		for v := 0; v < n; v++ {
+			d := sc.dist[v]
+			if b := e - d; b > lo[v] {
+				lo[v] = b
+			}
+			if d > lo[v] {
+				lo[v] = d
+			}
+			if b := e + d; b < hi[v] {
+				hi[v] = b
+			}
+		}
+		return true
+	}
+
+	spent := 0
+	for _, s := range seeds {
+		if spent++; spent > budget || !resolve(s) {
+			return nil, false
+		}
+	}
+	for {
+		// Selection is direction-aware, because the two triangle bounds are
+		// tight on opposite sides. After additions the stale vector is the
+		// upper bound, so progress means raising lower bounds — and the
+		// strong lower bound ecc(s) - d(s, v) radiates from high-eccentricity
+		// sources: resolve the most peripheral open vertex (largest hi).
+		// After removals the stale vector is the lower bound, so progress
+		// means lowering upper bounds — and the upper bound ecc(s) + d(s, v)
+		// is tightest from low-eccentricity sources: resolve the most central
+		// open vertex (smallest lo). Either way, widest gap breaks ties.
+		next, gap := -1, int32(0)
+		var bestKey int32
+		for v := 0; v < n; v++ {
+			if exact[v] {
+				continue
+			}
+			if lo[v] == hi[v] {
+				ecc[v] = int(lo[v])
+				exact[v] = true
+				continue
+			}
+			key := hi[v]
+			if allRemove {
+				key = -lo[v]
+			}
+			if w := hi[v] - lo[v]; next < 0 || key > bestKey || (key == bestKey && w > gap) {
+				next, bestKey, gap = v, key, w
+			}
+		}
+		if next < 0 {
+			break
+		}
+		if spent++; spent > budget || !resolve(next) {
+			return nil, false
+		}
+	}
+
+	res := &SweepResult{
+		Mode:     SweepAll,
+		Ecc:      ecc,
+		Radius:   -1,
+		Diameter: -1,
+		Stats:    SweepStats{Roots: n, Completed: spent, Workers: 1},
+	}
+	for _, e := range ecc {
+		if res.Radius < 0 || e < res.Radius {
+			res.Radius = e
+		}
+		if e > res.Diameter {
+			res.Diameter = e
+		}
+	}
+	for v, e := range ecc {
+		if e == res.Radius {
+			res.Centers = append(res.Centers, v)
+		}
+	}
+	res.Center = res.Centers[0]
+	return res, true
+}

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkRepairAgainstSweep applies deltas to g (already applied by the
+// caller), repairs prev, and — when the repair succeeds — compares every
+// field against a fresh full sweep.
+func checkRepairAgainstSweep(t *testing.T, g *Graph, prev *SweepResult, deltas []EdgeDelta) bool {
+	t.Helper()
+	got, ok := RepairSweep(g, prev, deltas)
+	if !ok {
+		return false
+	}
+	want, err := g.Sweep(SweepAll)
+	if err != nil {
+		t.Fatalf("oracle sweep: %v", err)
+	}
+	if got.Radius != want.Radius || got.Diameter != want.Diameter {
+		t.Fatalf("repair (r=%d,d=%d), sweep (r=%d,d=%d)", got.Radius, got.Diameter, want.Radius, want.Diameter)
+	}
+	for v := range want.Ecc {
+		if got.Ecc[v] != want.Ecc[v] {
+			t.Fatalf("ecc[%d]=%d after repair, sweep says %d (deltas %v)", v, got.Ecc[v], want.Ecc[v], deltas)
+		}
+	}
+	if len(got.Centers) != len(want.Centers) {
+		t.Fatalf("centers %v after repair, sweep says %v", got.Centers, want.Centers)
+	}
+	for i := range want.Centers {
+		if got.Centers[i] != want.Centers[i] {
+			t.Fatalf("centers %v after repair, sweep says %v", got.Centers, want.Centers)
+		}
+	}
+	return true
+}
+
+// TestRepairSweepRandomChurn drives random add/remove churn over several
+// topologies and cross-checks every successful repair against the full
+// sweep oracle. Failure to certify (ok=false) is always legal — a single
+// edge delta typically shifts half the eccentricities of a gradient
+// topology by exactly one, which pure bounds cannot certify (see the ±1
+// wall note in DESIGN.md §13) — but a wrong certified answer never is.
+func TestRepairSweepRandomChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	graphs := map[string]*Graph{
+		"cycle64":  Cycle(64),
+		"grid8x8":  Grid(8, 8),
+		"random96": RandomConnected(rng, 96, 0.08),
+		"star96":   Star(96),
+	}
+	for name, g := range graphs {
+		repaired, bailed := 0, 0
+		for trial := 0; trial < 60; trial++ {
+			prev, err := g.Sweep(SweepAll)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			var deltas []EdgeDelta
+			if rng.Intn(2) == 0 {
+				// Add 1-2 random absent edges.
+				for k := 0; k < 1+rng.Intn(2); k++ {
+					u, v := rng.Intn(g.N()), rng.Intn(g.N())
+					if u != v && g.AddEdge(u, v) {
+						deltas = append(deltas, EdgeDelta{U: u, V: v, Added: true})
+					}
+				}
+			} else {
+				// Remove one random non-bridge edge.
+				edges := g.Edges()
+				for _, i := range rng.Perm(len(edges)) {
+					e := edges[i]
+					g.RemoveEdge(e.U, e.V)
+					if g.Reachable(e.U, e.V) {
+						deltas = append(deltas, EdgeDelta{U: e.U, V: e.V})
+						break
+					}
+					g.AddEdge(e.U, e.V) // bridge: undo and try another
+				}
+			}
+			if len(deltas) == 0 {
+				continue
+			}
+			if checkRepairAgainstSweep(t, g, prev, deltas) {
+				repaired++
+			} else {
+				bailed++
+			}
+		}
+		t.Logf("%s: %d repaired, %d fell back to full sweep", name, repaired, bailed)
+	}
+}
+
+// TestRepairSweepCertifiesLocalFamilies pins the cases the engine exists
+// for: topologies with enough redundancy (hubs, dense graphs) that a link
+// delta leaves the distance structure certifiable from the affected region.
+// These must repair without falling back.
+func TestRepairSweepCertifiesLocalFamilies(t *testing.T) {
+	// Star: adding or removing a leaf-to-leaf chord is absorbed by the hub.
+	star := Star(128)
+	prev, _ := star.Sweep(SweepAll)
+	star.AddEdge(3, 77)
+	if !checkRepairAgainstSweep(t, star, prev, []EdgeDelta{{U: 3, V: 77, Added: true}}) {
+		t.Error("star chord addition fell back")
+	}
+	prev, _ = star.Sweep(SweepAll)
+	star.RemoveEdge(3, 77)
+	if !checkRepairAgainstSweep(t, star, prev, []EdgeDelta{{U: 3, V: 77}}) {
+		t.Error("star chord removal fell back")
+	}
+
+	// Dense graph: one more edge in an already near-complete graph changes
+	// nothing certifiable-from-stale.
+	dense := Complete(80)
+	dense.RemoveEdge(5, 6)
+	dense.RemoveEdge(11, 60)
+	prev, _ = dense.Sweep(SweepAll)
+	dense.AddEdge(5, 6)
+	if !checkRepairAgainstSweep(t, dense, prev, []EdgeDelta{{U: 5, V: 6, Added: true}}) {
+		t.Error("dense-graph edge addition fell back")
+	}
+}
+
+// TestRepairSweepRefuses pins the inputs RepairSweep must refuse: mixed
+// batches, stale vertex counts, disconnected graphs, and min-mode results.
+func TestRepairSweepRefuses(t *testing.T) {
+	g := Cycle(16)
+	prev, _ := g.Sweep(SweepAll)
+
+	g.AddEdge(0, 8)
+	g.RemoveEdge(0, 1)
+	if _, ok := RepairSweep(g, prev, []EdgeDelta{{U: 0, V: 8, Added: true}, {U: 0, V: 1}}); ok {
+		t.Error("mixed add/remove batch was certified")
+	}
+	g.AddEdge(0, 1)
+	g.RemoveEdge(0, 8)
+
+	if _, ok := RepairSweep(g, prev, nil); ok {
+		t.Error("empty delta batch was certified")
+	}
+	bigger := Cycle(17)
+	if _, ok := RepairSweep(bigger, prev, []EdgeDelta{{U: 0, V: 2, Added: true}}); ok {
+		t.Error("changed vertex count was certified")
+	}
+	minRes, _ := g.Sweep(SweepMin)
+	g.AddEdge(0, 8)
+	if _, ok := RepairSweep(g, minRes, []EdgeDelta{{U: 0, V: 8, Added: true}}); ok {
+		t.Error("SweepMin input was certified")
+	}
+	g.RemoveEdge(0, 8)
+
+	// Disconnected graph: remove enough to split, then hand the repair a
+	// delta batch describing it.
+	split := Path(6)
+	prevSplit, _ := split.Sweep(SweepAll)
+	split.RemoveEdge(2, 3)
+	if _, ok := RepairSweep(split, prevSplit, []EdgeDelta{{U: 2, V: 3}}); ok {
+		t.Error("disconnected graph was certified")
+	}
+}
+
+// TestRepairSweepLocalChangeIsCheap checks the point of the engine: a
+// redundant edge added to a graph whose distances it cannot change is
+// certified from the seed traversals alone, without burning the budget.
+func TestRepairSweepLocalChangeIsCheap(t *testing.T) {
+	g := Complete(64)
+	g.RemoveEdge(0, 1)
+	prev, _ := g.Sweep(SweepAll)
+	g.AddEdge(0, 1)
+	res, ok := RepairSweep(g, prev, []EdgeDelta{{U: 0, V: 1, Added: true}})
+	if !ok {
+		t.Fatal("local change on a complete graph fell back")
+	}
+	if res.Stats.Completed > 3 {
+		t.Errorf("local repair spent %d traversals, want <= seeds + slack", res.Stats.Completed)
+	}
+	if res.Radius != 1 || res.Diameter != 1 {
+		t.Errorf("K64 metrics (r=%d, d=%d), want (1, 1)", res.Radius, res.Diameter)
+	}
+}

@@ -179,6 +179,37 @@ func (c *Cache[V]) Get(key Key, build func() (V, int64, error)) (V, Source, erro
 	return f.val, Miss, f.err
 }
 
+// Put stores a value the caller built outside the cache — the churn layer
+// publishes patched plans this way, so a later Get for the patched
+// topology's fingerprint hits instead of rebuilding. The value must be
+// immutable, like every cached value; when it implements Sizer its own
+// SizeBytes overrides the estimate. Put on an existing key refreshes its
+// LRU position and keeps the incumbent (Get handed that value to other
+// callers already; replacing it would fork the topology's identity).
+func (c *Cache[V]) Put(key Key, val V, bytes int64) {
+	if s, ok := any(val).(Sizer); ok {
+		bytes = s.SizeBytes()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insert(key, val, bytes)
+}
+
+// Lookup returns the value cached under key without building on a miss.
+// A found entry counts as a hit and refreshes its LRU position; a miss
+// leaves every counter alone (no build was declined, merely not attempted).
+func (c *Cache[V]) Lookup(key Key) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.hits.Inc()
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
 // Peek reports whether key is cached without touching LRU order or
 // counters.
 func (c *Cache[V]) Peek(key Key) bool {

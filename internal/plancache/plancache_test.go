@@ -207,3 +207,63 @@ func TestConcurrentMixedKeys(t *testing.T) {
 		t.Errorf("misses %d - evictions %d != entries %d", s.Misses, s.Evictions, s.Entries)
 	}
 }
+
+// sized is a test value implementing Sizer, so Put/Get must charge its own
+// SizeBytes over the caller's estimate.
+type sized struct{ bytes int64 }
+
+func (s sized) SizeBytes() int64 { return s.bytes }
+
+// TestPutLookup covers the externally-built-value path the churn layer
+// uses: Put inserts without a build, Lookup serves without building on a
+// miss, a found entry counts as a hit and refreshes LRU order, and Put on
+// an existing key keeps the incumbent value.
+func TestPutLookup(t *testing.T) {
+	c := New[string](2, 0, nil)
+
+	if v, ok := c.Lookup(key(1)); ok || v != "" {
+		t.Fatalf("Lookup on empty cache returned %q, %v", v, ok)
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("a Lookup miss touched counters: %+v", st)
+	}
+
+	c.Put(key(1), "one", 10)
+	v, ok := c.Lookup(key(1))
+	if !ok || v != "one" {
+		t.Fatalf("Lookup after Put returned %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Entries != 1 || st.Bytes != 10 {
+		t.Fatalf("after Put+Lookup: %+v, want 1 hit, 1 entry, 10 bytes", st)
+	}
+
+	// Put on an existing key keeps the incumbent: Get handed that value out
+	// already, so replacing it would fork the key's identity.
+	c.Put(key(1), "uno", 10)
+	if v, _ := c.Lookup(key(1)); v != "one" {
+		t.Fatalf("Put replaced the incumbent: got %q, want %q", v, "one")
+	}
+
+	// Lookup refreshes LRU order: touch key 1, insert two more, and the
+	// untouched key 2 must be the eviction victim.
+	c.Put(key(2), "two", 10)
+	c.Lookup(key(1))
+	c.Put(key(3), "three", 10)
+	if _, ok := c.Lookup(key(2)); ok {
+		t.Fatal("key 2 survived eviction despite key 1's LRU refresh")
+	}
+	if _, ok := c.Lookup(key(1)); !ok {
+		t.Fatal("key 1 evicted despite its LRU refresh")
+	}
+}
+
+// TestPutSizerOverride requires Put to charge a Sizer value's own
+// SizeBytes, not the caller's estimate.
+func TestPutSizerOverride(t *testing.T) {
+	c := New[sized](0, 0, nil)
+	c.Put(key(9), sized{bytes: 640}, 1)
+	if st := c.Stats(); st.Bytes != 640 {
+		t.Fatalf("bytes %d, want the Sizer's 640 over the estimate 1", st.Bytes)
+	}
+}

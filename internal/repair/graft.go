@@ -1,0 +1,109 @@
+package repair
+
+// graft.go extends the repair engine from message deficits to structural
+// ones: where repair.Run re-delivers the pairs a faulty execution dropped,
+// GraftTree re-attaches the subtree a removed link orphaned. The two share
+// the same philosophy — fix the affected region, leave the rest alone — and
+// the same caller: the plan-patching layer uses GraftTree to splice a cached
+// plan's spanning tree around a removed link instead of re-running the
+// O(nm) minimum-depth construction.
+
+import (
+	"fmt"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/spantree"
+)
+
+// GraftTree repairs spanning tree t of g after the undirected link {u, v}
+// was removed from g (g must already reflect the removal; t was built before
+// it). If {u, v} was not a tree edge the tree is untouched and returned
+// as-is: every communication of a schedule over t used only tree edges, so
+// losing a chord changes nothing. If it was a tree edge, the subtree below
+// it is severed and re-attached through a surviving crossing link: among all
+// g-edges {x, y} with x outside the severed subtree and y inside, the graft
+// picks the one minimising (level of x, old level of y, x, y) — attaching as
+// high as possible bounds the regrown depth — then reverses the parent path
+// from y up to the severed root and hangs y under x. The result is a valid
+// spanning tree of the post-removal graph, built in O(n + m); its height may
+// exceed the new radius, which is the caller's quality policy to judge.
+//
+// It returns an error when no crossing link survives — the removal
+// disconnected g, and no spanning tree exists to repair.
+func GraftTree(g *graph.Graph, t *spantree.Tree, u, v int) (*spantree.Tree, error) {
+	n := t.N()
+	if g.N() != n {
+		return nil, fmt.Errorf("repair: graft over %d-vertex graph, tree has %d", g.N(), n)
+	}
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return nil, fmt.Errorf("repair: graft link {%d, %d} out of range [0,%d)", u, v, n)
+	}
+	// Identify the child endpoint of the tree edge; a chord leaves t valid.
+	var sever int
+	switch {
+	case t.Parent[u] == v:
+		sever = u
+	case t.Parent[v] == u:
+		sever = v
+	default:
+		return t, nil
+	}
+
+	// Mark the severed subtree.
+	inSub := make([]bool, n)
+	stack := []int{sever}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		inSub[w] = true
+		stack = append(stack, t.Children[w]...)
+	}
+
+	// Find the best surviving crossing link {x, y}, x outside, y inside.
+	graftX, graftY := -1, -1
+	better := func(x, y int) bool {
+		switch {
+		case graftX < 0:
+			return true
+		case t.Level[x] != t.Level[graftX]:
+			return t.Level[x] < t.Level[graftX]
+		case t.Level[y] != t.Level[graftY]:
+			return t.Level[y] < t.Level[graftY]
+		case x != graftX:
+			return x < graftX
+		default:
+			return y < graftY
+		}
+	}
+	for y := 0; y < n; y++ {
+		if !inSub[y] {
+			continue
+		}
+		for _, x := range g.Neighbors(y) {
+			if !inSub[x] && better(x, y) {
+				graftX, graftY = x, y
+			}
+		}
+	}
+	if graftX < 0 {
+		return nil, fmt.Errorf("repair: removing link {%d, %d} disconnected the subtree at %d", u, v, sever)
+	}
+
+	// Reverse the parent path graftY -> sever, then hang graftY under
+	// graftX. The severed tree edge disappears because sever's parent
+	// pointer is overwritten (by its path child, or by graftX directly when
+	// graftY == sever); every other path edge survives with its direction
+	// flipped, so the new edge set is exactly (old tree - {u,v}) + {x,y}.
+	parent := append([]int(nil), t.Parent...)
+	prev, w := graftX, graftY
+	for w != -1 && inSub[w] {
+		next := parent[w]
+		parent[w] = prev
+		prev, w = w, next
+	}
+	repaired, err := spantree.FromParents(parent)
+	if err != nil {
+		return nil, fmt.Errorf("repair: graft produced an invalid tree: %w", err)
+	}
+	return repaired, nil
+}

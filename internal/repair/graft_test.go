@@ -1,0 +1,152 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/spantree"
+)
+
+// checkSpanning asserts t is a spanning tree of g: right size, and every
+// tree edge present in g (FromParents already guarantees connectivity and
+// acyclicity, so edge containment is the only open property).
+func checkSpanning(t *testing.T, g *graph.Graph, tr *spantree.Tree) {
+	t.Helper()
+	if tr.N() != g.N() {
+		t.Fatalf("tree has %d vertices, graph %d", tr.N(), g.N())
+	}
+	for v, p := range tr.Parent {
+		if p >= 0 && !g.HasEdge(v, p) {
+			t.Fatalf("tree edge %d-%d not in graph", v, p)
+		}
+	}
+}
+
+func TestGraftTreeChordIsNoop(t *testing.T) {
+	g := graph.Cycle(8)
+	tr, err := spantree.MinDepth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every cycle tree leaves exactly one chord; removing it must return the
+	// identical tree.
+	for _, e := range g.Edges() {
+		if tr.Parent[e.U] == e.V || tr.Parent[e.V] == e.U {
+			continue
+		}
+		h := g.Clone()
+		h.RemoveEdge(e.U, e.V)
+		got, err := GraftTree(h, tr, e.U, e.V)
+		if err != nil {
+			t.Fatalf("chord removal: %v", err)
+		}
+		if got != tr {
+			t.Fatalf("chord removal rebuilt the tree")
+		}
+	}
+}
+
+func TestGraftTreeRepairsTreeEdge(t *testing.T) {
+	g := graph.Cycle(12)
+	tr, err := spantree.MinDepth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var te graph.Edge
+	for _, e := range g.Edges() {
+		if tr.Parent[e.U] == e.V || tr.Parent[e.V] == e.U {
+			te = e
+			break
+		}
+	}
+	h := g.Clone()
+	h.RemoveEdge(te.U, te.V)
+	got, err := GraftTree(h, tr, te.U, te.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == tr {
+		t.Fatal("tree-edge removal returned the stale tree")
+	}
+	checkSpanning(t, h, got)
+	if got.Root != tr.Root {
+		t.Errorf("graft moved the root from %d to %d", tr.Root, got.Root)
+	}
+}
+
+func TestGraftTreeDisconnection(t *testing.T) {
+	g := graph.Path(6)
+	tr, err := spantree.MinDepth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := g.Clone()
+	h.RemoveEdge(2, 3) // every path edge is a bridge
+	if _, err := GraftTree(h, tr, 2, 3); err == nil {
+		t.Fatal("bridge removal grafted a tree over a disconnected graph")
+	}
+}
+
+func TestGraftTreeRejectsMismatch(t *testing.T) {
+	g := graph.Cycle(8)
+	tr, _ := spantree.MinDepth(g)
+	if _, err := GraftTree(graph.Cycle(9), tr, 0, 1); err == nil {
+		t.Error("vertex-count mismatch accepted")
+	}
+	if _, err := GraftTree(g, tr, -1, 3); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+	if _, err := GraftTree(g, tr, 0, 8); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+}
+
+// TestGraftTreeRandomChurn removes random non-bridge links from random
+// connected graphs and checks every graft yields a valid spanning tree of
+// the survivor graph, with the severed subtree reattached (not rebuilt:
+// the parent pointers outside the severed subtree must be untouched).
+func TestGraftTreeRandomChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		g := graph.RandomConnected(rng, 48+rng.Intn(32), 0.08)
+		tr, err := spantree.MinDepth(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges := g.Edges()
+		e := edges[rng.Intn(len(edges))]
+		g.RemoveEdge(e.U, e.V)
+		if !g.Reachable(e.U, e.V) {
+			g.AddEdge(e.U, e.V) // bridge: skip this trial
+			continue
+		}
+		got, err := GraftTree(g, tr, e.U, e.V)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkSpanning(t, g, got)
+		if got == tr {
+			continue // chord removal
+		}
+		// Locate the severed subtree in the old tree and check the graft was
+		// surgical: parents outside it are identical.
+		sever := e.U
+		if tr.Parent[e.V] == e.U {
+			sever = e.V
+		}
+		inSub := make([]bool, tr.N())
+		stack := []int{sever}
+		for len(stack) > 0 {
+			w := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			inSub[w] = true
+			stack = append(stack, tr.Children[w]...)
+		}
+		for v := range inSub {
+			if !inSub[v] && got.Parent[v] != tr.Parent[v] {
+				t.Fatalf("trial %d: graft moved vertex %d outside the severed subtree", trial, v)
+			}
+		}
+	}
+}

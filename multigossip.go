@@ -67,20 +67,37 @@ func (a Algorithm) String() string {
 // errors.Is; the serving layer maps it to an HTTP 422.
 var ErrDisconnected = errors.New("multigossip: network is not connected")
 
-// Network is a communication network under construction: processors are
-// 0..n-1 and links are added with AddLink.
+// Network is a communication network under churn: processors are 0..n-1 and
+// links are added with AddLink and removed with RemoveLink.
 type Network struct {
-	g *graph.Graph
+	// mu guards g and every cache below: links mutate under it and every
+	// accessor reads under it, so no reader ever observes a half-applied
+	// mutation (and the race detector agrees).
+	mu sync.Mutex
+	g  *graph.Graph
 
 	// metrics caches the result of one full parallel BFS sweep, so that
 	// Radius, Diameter, Center and Eccentricities on the same network
-	// together cost a single sweep instead of one O(nm) pass each. AddLink
-	// invalidates it, as it does the cached content fingerprint.
-	mu      sync.Mutex
+	// together cost a single sweep instead of one O(nm) pass each. Link
+	// churn no longer discards it wholesale: mutations queue as pending
+	// deltas and the next metric read first tries graph.RepairSweep, which
+	// certifies the stale result from the affected region when the change
+	// was local and falls back to the full sweep when it was not.
 	metrics *graph.SweepResult
-	fp      uint64
-	fpOK    bool
+	pending []graph.EdgeDelta
+
+	// fp caches the content fingerprint; the XOR edge-hash scheme keeps it
+	// exact across churn at O(1) per mutation, so fpOK only resets when the
+	// cache has never been primed.
+	fp   uint64
+	fpOK bool
 }
+
+// maxPendingDeltas caps the mutation backlog carried between metric reads:
+// past a handful of deltas the repair rarely certifies and the bookkeeping
+// outweighs the sweep it might save, so the cache degrades to a plain
+// invalidation.
+const maxPendingDeltas = 8
 
 // NewNetwork returns a network with n processors and no links.
 func NewNetwork(n int) *Network { return &Network{g: graph.New(n)} }
@@ -88,17 +105,64 @@ func NewNetwork(n int) *Network { return &Network{g: graph.New(n)} }
 // fromGraph wraps an internal graph (used by the topology constructors).
 func fromGraph(g *graph.Graph) *Network { return &Network{g: g} }
 
-// AddLink adds the bidirectional link {u, v}; adding it twice is a no-op.
-// AddLink is safe to call concurrently with the metric accessors (Radius,
-// Diameter, Center, Eccentricities): the graph mutation happens under the
-// same lock that guards the metric sweep, so a sweep never observes a
-// half-inserted edge.
-func (nw *Network) AddLink(u, v int) {
+// AddLink adds the bidirectional link {u, v} and reports whether the
+// network changed (adding an existing link is a no-op returning false).
+// AddLink is safe to call concurrently with every accessor and with
+// RemoveLink: all of them run under the network's mutation lock.
+func (nw *Network) AddLink(u, v int) bool {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	nw.g.AddEdge(u, v)
-	nw.metrics = nil
-	nw.fpOK = false
+	if !nw.g.AddEdge(u, v) {
+		return false
+	}
+	nw.noteMutation(graph.EdgeDelta{U: min(u, v), V: max(u, v), Added: true})
+	return true
+}
+
+// RemoveLink deletes the bidirectional link {u, v}. Removing an absent link
+// is a no-op returning nil. When the removal would split the network, the
+// link is restored and an error wrapping ErrDisconnected is returned: a
+// Network never transitions into a state its planners cannot serve.
+func (nw *Network) RemoveLink(u, v int) error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if !nw.g.RemoveEdge(u, v) {
+		return nil
+	}
+	// The endpoints were connected through the removed link, so the network
+	// stays connected exactly when an alternative u-v path survives.
+	if !nw.g.Reachable(u, v) {
+		nw.g.AddEdge(u, v)
+		return fmt.Errorf("multigossip: removing link {%d, %d} would disconnect the network: %w", u, v, ErrDisconnected)
+	}
+	nw.noteMutation(graph.EdgeDelta{U: min(u, v), V: max(u, v), Added: false})
+	return nil
+}
+
+// noteMutation folds one applied edge change into the incremental caches.
+// Must be called with nw.mu held and only for mutations that changed the
+// graph. The fingerprint updates exactly (XOR of the edge hash); the metric
+// cache queues the delta for repair-on-read, cancelling an exact opposite
+// still in the queue (a flap that lands back on the cached topology needs no
+// repair at all).
+func (nw *Network) noteMutation(d graph.EdgeDelta) {
+	if nw.fpOK {
+		nw.fp ^= graph.EdgeHash(d.U, d.V)
+	}
+	if nw.metrics == nil {
+		return
+	}
+	for i, p := range nw.pending {
+		if p.U == d.U && p.V == d.V && p.Added != d.Added {
+			nw.pending = append(nw.pending[:i], nw.pending[i+1:]...)
+			return
+		}
+	}
+	if len(nw.pending) >= maxPendingDeltas {
+		nw.metrics, nw.pending = nil, nil
+		return
+	}
+	nw.pending = append(nw.pending, d)
 }
 
 // sweepMetricsErr returns the cached full-sweep metrics, computing them on
@@ -107,6 +171,16 @@ func (nw *Network) AddLink(u, v int) {
 func (nw *Network) sweepMetricsErr() (*graph.SweepResult, error) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
+	if nw.metrics != nil && len(nw.pending) > 0 {
+		// Try to certify the stale sweep from the churned region before
+		// paying for a full one. Either way the backlog is settled.
+		if res, ok := graph.RepairSweep(nw.g, nw.metrics, nw.pending); ok {
+			nw.metrics = res
+		} else {
+			nw.metrics = nil
+		}
+		nw.pending = nil
+	}
 	if nw.metrics == nil {
 		res, err := nw.g.Sweep(graph.SweepAll)
 		if err != nil {
@@ -179,24 +253,49 @@ func (nw *Network) Fingerprint() uint64 {
 
 // snapshot returns a Network over a private deep copy of the graph, taken
 // under the mutation lock. The plan cache builds plans from snapshots so a
-// cached Plan can never observe a later AddLink.
+// cached Plan can never observe a later AddLink or RemoveLink.
 func (nw *Network) snapshot() *Network {
+	return fromGraph(nw.snapshotGraph())
+}
+
+// snapshotGraph returns a private deep copy of the graph, taken under the
+// mutation lock. Every planner entry point works from a snapshot so that an
+// in-flight plan construction never races a concurrent link mutation, and a
+// finished Plan stays internally consistent (Verify checks the plan against
+// the topology it was built for, not whatever the network mutated into).
+func (nw *Network) snapshotGraph() *graph.Graph {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	return fromGraph(nw.g.Clone())
+	return nw.g.Clone()
 }
 
 // HasLink reports whether {u, v} is a link.
-func (nw *Network) HasLink(u, v int) bool { return nw.g.HasEdge(u, v) }
+func (nw *Network) HasLink(u, v int) bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.g.HasEdge(u, v)
+}
 
 // Processors returns the number of processors.
-func (nw *Network) Processors() int { return nw.g.N() }
+func (nw *Network) Processors() int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.g.N()
+}
 
 // Links returns the number of links.
-func (nw *Network) Links() int { return nw.g.M() }
+func (nw *Network) Links() int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.g.M()
+}
 
 // Connected reports whether every processor can reach every other.
-func (nw *Network) Connected() bool { return nw.g.IsConnected() }
+func (nw *Network) Connected() bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.g.IsConnected()
+}
 
 // Radius returns the network radius r: the least eccentricity over all
 // processors. PlanGossip schedules complete in exactly Processors() + r
@@ -231,10 +330,10 @@ func (nw *Network) Eccentricities() []int {
 
 // LowerBound returns the best cheap lower bound on any gossip schedule:
 // max(n-1, diameter).
-func (nw *Network) LowerBound() int { return search.LowerBound(nw.g) }
+func (nw *Network) LowerBound() int { return search.LowerBound(nw.snapshotGraph()) }
 
 // DOT renders the network in Graphviz syntax.
-func (nw *Network) DOT(name string) string { return nw.g.DOT(name, nil) }
+func (nw *Network) DOT(name string) string { return nw.snapshotGraph().DOT(name, nil) }
 
 // Transmission is one multicast of a communication round: processor From
 // sends Message simultaneously to every processor in To.
@@ -277,27 +376,36 @@ type Plan struct {
 }
 
 // PlanGossip constructs a gossip schedule for the network, by default with
-// ConcurrentUpDown. The network must be connected and non-empty.
+// ConcurrentUpDown. The network must be connected and non-empty. Planning
+// works from a private snapshot of the topology, so it is safe to run
+// concurrently with link churn; the returned Plan describes the network as
+// it was when PlanGossip was called.
 func (nw *Network) PlanGossip(opts ...PlanOption) (*Plan, error) {
 	cfg := planConfig{algo: ConcurrentUpDown}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	return planGossip(nw.snapshotGraph(), cfg)
+}
+
+// planGossip builds a plan over a graph the caller guarantees is private
+// (a snapshot, or a patched clone from the churn layer).
+func planGossip(g *graph.Graph, cfg planConfig) (*Plan, error) {
 	// Connectivity is not checked up front: the minimum-depth sweep inside
 	// the pipeline already proves it (or reports disconnection), so a
 	// dedicated BFS here would be a redundant O(m) pass per plan.
 	switch cfg.algo {
 	case ConcurrentUpDown:
-		imp, sweep, err := core.GossipImplicit(nw.g)
+		imp, sweep, err := core.GossipImplicit(g)
 		if err != nil {
 			if errors.Is(err, graph.ErrDisconnected) {
 				return nil, ErrDisconnected
 			}
 			return nil, err
 		}
-		return &Plan{network: nw.g, algo: cfg.algo, radius: imp.Height(), sweep: sweep, imp: imp}, nil
+		return &Plan{network: g, algo: cfg.algo, radius: imp.Height(), sweep: sweep, imp: imp}, nil
 	case Simple:
-		res, err := core.Gossip(nw.g, core.Simple)
+		res, err := core.Gossip(g, core.Simple)
 		if err != nil {
 			if errors.Is(err, graph.ErrDisconnected) {
 				return nil, ErrDisconnected
@@ -305,7 +413,7 @@ func (nw *Network) PlanGossip(opts ...PlanOption) (*Plan, error) {
 			return nil, err
 		}
 		return &Plan{
-			network: nw.g,
+			network: g,
 			algo:    cfg.algo,
 			radius:  res.Radius,
 			sweep:   res.Sweep,
@@ -497,13 +605,15 @@ func (p *Plan) ExecuteDistributed() (int, error) {
 }
 
 // PlanBroadcast constructs the Section 2 broadcast schedule: src's message
-// reaches every processor in exactly ecc(src) rounds.
+// reaches every processor in exactly ecc(src) rounds. Like PlanGossip it
+// plans against a private snapshot of the topology.
 func (nw *Network) PlanBroadcast(src int) (*BroadcastPlan, error) {
-	s, err := baseline.Broadcast(nw.g, src)
+	g := nw.snapshotGraph()
+	s, err := baseline.Broadcast(g, src)
 	if err != nil {
 		return nil, err
 	}
-	return &BroadcastPlan{network: nw.g, sched: s, src: src}, nil
+	return &BroadcastPlan{network: g, sched: s, src: src}, nil
 }
 
 // BroadcastPlan is a single-source broadcast schedule.
@@ -535,7 +645,7 @@ func (p *BroadcastPlan) Verify() error {
 // parent pointers (root marked -1), for callers that want to reuse the
 // paper's Section 3.1 construction directly.
 func (nw *Network) SpanningTree() ([]int, error) {
-	tr, err := spantree.MinDepth(nw.g)
+	tr, err := spantree.MinDepth(nw.snapshotGraph())
 	if err != nil {
 		return nil, err
 	}
