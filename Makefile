@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race cover bench-smoke fault-smoke fuzz-smoke serve-smoke plan-smoke churn-smoke bench sweep-record fault-record obs-record serve-record plan-record churn-record experiments
+.PHONY: check vet staticcheck build test race cover bench-smoke fault-smoke fuzz-smoke serve-smoke plan-smoke churn-smoke store-smoke bench sweep-record fault-record obs-record serve-record plan-record churn-record store-record experiments
 
-check: vet staticcheck build race cover bench-smoke fault-smoke fuzz-smoke serve-smoke plan-smoke churn-smoke
+check: vet staticcheck build race cover bench-smoke fault-smoke fuzz-smoke serve-smoke plan-smoke churn-smoke store-smoke
 
 vet:
 	$(GO) vet ./...
@@ -76,12 +76,32 @@ serve-smoke:
 
 # Ten seconds each of coverage-guided fuzzing: the repair planner's
 # model-safety invariant (every emitted schedule must replay cleanly under
-# schedule.Run from the hold-state it was planned for) and the implicit
-# plan's equivalence invariant (closed-form rounds and timetables must be
-# bit-identical to the materialising builder on random connected graphs).
+# schedule.Run from the hold-state it was planned for), the implicit plan's
+# equivalence invariant (closed-form rounds and timetables must be
+# bit-identical to the materialising builder on random connected graphs),
+# and the plan codec's no-panic invariant (arbitrary bytes — the store's
+# threat model after disk corruption — must decode to a valid plan or a
+# clean error, never a crash).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzPlanRounds -fuzztime=10s ./internal/repair
 	$(GO) test -run='^$$' -fuzz=FuzzImplicitRound -fuzztime=10s ./internal/implicit
+	$(GO) test -run='^$$' -fuzz=FuzzPlanDecode -fuzztime=10s ./internal/implicit
+
+# Store gate: the crash-safety unit tests (torn/truncated/bit-flipped
+# entries quarantined, warm start bit-identical, degraded-store serving),
+# then a short end-to-end run of the replicated store benchmark: spawn two
+# replicas over real store directories, build a key set, SIGKILL everything,
+# require a zero-rebuild warm start from disk, and kill/resurrect one
+# replica under open-loop load requiring >= 99.9% client success with
+# bounded retries.
+store-smoke:
+	@mkdir -p bin
+	$(GO) test ./internal/planstore
+	$(GO) test -run 'Store|Tier2|Codec' ./internal/plancache ./internal/implicit .
+	$(GO) build -o bin/gossipd ./cmd/gossipd
+	$(GO) build -o bin/loadgen ./cmd/loadgen
+	./bin/loadgen -gossipd bin/gossipd -replicas 2 -cold-keys 12 -n 256 \
+		-rate 100 -failover-duration 4s -retries 5 -assert -store-out /dev/null
 
 # Churn gate: seeded add/remove flaps on a ring and a random graph at
 # n = 1024 driven through the DynamicPlanner with WithPatchVerify, so every
@@ -134,6 +154,18 @@ serve-record:
 	./bin/loadgen -url http://$(SERVE_ADDR) -duration 20s -rate 30 -hot 0.96 -n 1024 -cold-keys 48 -assert -min-speedup 10 -out BENCH_serve.json; \
 	kill -TERM $$pid; \
 	wait $$pid
+
+# Regenerate the BENCH_store.json resilience record: a two-replica cluster
+# over real store directories — cold construction cost vs warm-start-from-
+# disk cost after SIGKILLing the whole fleet, then a 30-second open-loop
+# failover run (kill one replica at T/3, resurrect it at 2T/3) with bounded
+# jittered retries and the 99.9% success floor asserted.
+store-record:
+	@mkdir -p bin
+	$(GO) build -o bin/gossipd ./cmd/gossipd
+	$(GO) build -o bin/loadgen ./cmd/loadgen
+	./bin/loadgen -gossipd bin/gossipd -replicas 2 -cold-keys 32 -n 512 \
+		-rate 100 -failover-duration 30s -retries 5 -assert -store-out BENCH_store.json
 
 # Regenerate the BENCH_plan.json plan-encoding record: implicit O(n) plans
 # vs materialised O(n²) schedules (bytes, construction time, first-round

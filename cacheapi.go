@@ -16,8 +16,9 @@ import (
 // once per distinct (topology, algorithm) pair.
 
 // CacheSource classifies how a PlanCache request was satisfied: CacheMiss
-// (this call constructed the plan), CacheHit (served from memory) or
-// CacheCoalesced (attached to another caller's in-flight construction).
+// (this call constructed the plan), CacheHit (served from memory),
+// CacheCoalesced (attached to another caller's in-flight construction) or
+// CacheDisk (loaded from an attached PlanStore, skipping construction).
 type CacheSource = plancache.Source
 
 // CacheSource values.
@@ -25,17 +26,19 @@ const (
 	CacheMiss      = plancache.Miss
 	CacheHit       = plancache.Hit
 	CacheCoalesced = plancache.Coalesced
+	CacheDisk      = plancache.Disk
 )
 
 // CacheStats is a point-in-time snapshot of a PlanCache's counters.
-// Hits + Misses + Coalesced equals the requests answered so far, and
-// Entries equals successful Misses minus Evictions.
+// Hits + Misses + DiskHits + Coalesced equals the requests answered so far,
+// and Entries equals successful Misses plus DiskHits minus Evictions.
 type CacheStats = plancache.Stats
 
 type cacheConfig struct {
 	entries int
 	bytes   int64
 	reg     *obs.Registry
+	store   *PlanStore
 }
 
 // CacheOption configures NewPlanCache.
@@ -64,6 +67,15 @@ func WithCacheMetrics(m *Metrics) CacheOption {
 	return func(c *cacheConfig) { c.reg = m }
 }
 
+// WithCacheStore attaches a disk tier under the LRU: a memory miss first
+// tries the store (counted as CacheDisk on success), and every plan this
+// cache constructs is written through for later processes to warm-start
+// from. Store failures never surface here — a degraded store just turns
+// the cache back into the memory-only cache it was without one.
+func WithCacheStore(ps *PlanStore) CacheOption {
+	return func(c *cacheConfig) { c.store = ps }
+}
+
 // PlanCache is a concurrent, bounded, content-addressed cache of gossip
 // plans. Safe for concurrent use by any number of goroutines; the plans it
 // returns are shared, not copied, which is safe because plans are
@@ -79,7 +91,11 @@ func NewPlanCache(opts ...CacheOption) *PlanCache {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &PlanCache{c: plancache.New[*Plan](cfg.entries, cfg.bytes, cfg.reg)}
+	c := plancache.New[*Plan](cfg.entries, cfg.bytes, cfg.reg)
+	if cfg.store != nil {
+		c.AttachTier2(cfg.store)
+	}
+	return &PlanCache{c: c}
 }
 
 // Plan returns a gossip plan for the network, reusing a cached plan for any

@@ -231,22 +231,33 @@ func (dp *DynamicPlanner) flapping(e graph.Edge) bool {
 	return dp.window > 0 && seen && now.Sub(last) < dp.window
 }
 
+// Mutation is one topology change in a batch: an added link (Remove false)
+// or a removed link (Remove true).
+type Mutation struct {
+	Remove bool
+	U, V   int
+}
+
+// MutationResult reports how one mutation of a batch landed on the
+// topology. Changed is false for no-ops (duplicate adds, removals of absent
+// links) and refusals; Err is non-nil exactly for refusals (a removal that
+// would disconnect the network).
+type MutationResult struct {
+	Mutation
+	Changed bool
+	Err     error
+}
+
 // AddLink adds link {u, v} and reports how the served plan absorbed it. An
 // added link never invalidates a tree-borne schedule, so the plan is reused
 // (rebound to the new snapshot) — or, when the new fingerprint matches a
 // cached plan, restored from the cache. Duplicate adds change nothing.
 func (dp *DynamicPlanner) AddLink(u, v int) (PatchOutcome, error) {
-	if !dp.nw.AddLink(u, v) {
-		return PatchUnchanged, nil
+	out, res, err := dp.Apply([]Mutation{{U: u, V: v}})
+	if err != nil {
+		return out, err
 	}
-	dp.flapping(graph.Edge{U: min(u, v), V: max(u, v)})
-	if cached, ok := dp.cachedForCurrent(); ok {
-		dp.plan = cached
-		dp.baseRadius = cached.radius
-		dp.reused.Inc()
-		return PatchReused, nil
-	}
-	return dp.reuse()
+	return out, res[0].Err
 }
 
 // RemoveLink removes link {u, v} and reports how the served plan absorbed
@@ -257,49 +268,124 @@ func (dp *DynamicPlanner) AddLink(u, v int) (PatchOutcome, error) {
 // it was, and rebuilds cold only when the patch fails or degrades the tree
 // past the quality bound on a non-flapping link.
 func (dp *DynamicPlanner) RemoveLink(u, v int) (PatchOutcome, error) {
-	if !dp.nw.HasLink(u, v) {
-		return PatchUnchanged, nil // the planner owns mutations, so this is race-free
+	out, res, err := dp.Apply([]Mutation{{Remove: true, U: u, V: v}})
+	if err != nil {
+		return out, err
 	}
-	if err := dp.nw.RemoveLink(u, v); err != nil {
-		return PatchUnchanged, err
+	return out, res[0].Err
+}
+
+// Apply applies a batch of mutations to the topology and absorbs the net
+// effect into the served plan with ONE patch decision, where looping over
+// AddLink/RemoveLink would pay one graft or rebuild per mutation. The
+// per-mutation results report what each change did to the topology
+// (refusals and no-ops are per-mutation outcomes, not batch failures); the
+// returned PatchOutcome describes the single plan transition:
+//
+//   - PatchUnchanged: no mutation survived (all duplicates, absences or
+//     refusals) — the plan and topology are untouched.
+//   - PatchReused: the final topology either matches a cached fingerprint
+//     (a flap sequence landing back home) or lost no tree edge — however
+//     many links the batch added or removed, the schedule never used them.
+//   - PatchGrafted: at least one tree edge was lost; the tree was grafted
+//     around every lost edge in one pass over the final topology and the
+//     plan re-derived once.
+//   - PatchSuppressed / PatchRebuilt: as for single mutations, decided once
+//     against the final grafted height (a batch counts as flapping when any
+//     of its lost tree edges is).
+//
+// The error return is reserved for planner failure (a cold rebuild that
+// cannot complete); per-mutation refusals live in the results.
+func (dp *DynamicPlanner) Apply(muts []Mutation) (PatchOutcome, []MutationResult, error) {
+	results := make([]MutationResult, len(muts))
+	flapped := make(map[graph.Edge]bool)
+	changed := false
+	for i, m := range muts {
+		results[i].Mutation = m
+		if m.Remove {
+			if !dp.nw.HasLink(m.U, m.V) {
+				continue // the planner owns mutations, so this is race-free
+			}
+			if err := dp.nw.RemoveLink(m.U, m.V); err != nil {
+				results[i].Err = err
+				continue
+			}
+		} else if !dp.nw.AddLink(m.U, m.V) {
+			continue
+		}
+		results[i].Changed = true
+		changed = true
+		e := graph.Edge{U: min(m.U, m.V), V: max(m.U, m.V)}
+		if dp.flapping(e) {
+			flapped[e] = true
+		}
 	}
-	flap := dp.flapping(graph.Edge{U: min(u, v), V: max(u, v)})
+	if !changed {
+		return PatchUnchanged, results, nil
+	}
 	if cached, ok := dp.cachedForCurrent(); ok {
 		dp.plan = cached
 		dp.baseRadius = cached.radius
 		dp.reused.Inc()
-		return PatchReused, nil
+		return PatchReused, results, nil
 	}
+
+	// The net damage is judged against the final topology, not mutation by
+	// mutation: a tree edge removed and re-added within the batch was never
+	// lost at all.
 	tree, _ := dp.plan.treeLabeled()
-	if tree.Parent[u] != v && tree.Parent[v] != u {
-		// The schedule never used the link.
-		return dp.reuse()
-	}
 	g := dp.nw.snapshotGraph()
-	grafted, err := repair.GraftTree(g, tree, u, v)
-	if err == nil {
+	var lost []graph.Edge
+	flap := false
+	for v, parent := range tree.Parent {
+		if parent >= 0 && !g.HasEdge(v, parent) {
+			e := graph.Edge{U: min(v, parent), V: max(v, parent)}
+			lost = append(lost, e)
+			flap = flap || flapped[e]
+		}
+	}
+	if len(lost) == 0 {
+		// The schedule never used any changed link.
+		out, err := dp.reuse()
+		return out, results, err
+	}
+
+	grafted := tree
+	graftOK := true
+	for _, e := range lost {
+		if grafted.Parent[e.U] != e.V && grafted.Parent[e.V] != e.U {
+			continue // an earlier graft already rerouted this edge
+		}
+		repaired, err := repair.GraftTree(g, grafted, e.U, e.V)
+		if err != nil {
+			graftOK = false
+			break
+		}
+		grafted = repaired
+	}
+	if graftOK {
 		candidate := planFromTree(g, grafted, dp.plan.sweep)
-		if err = dp.validate(candidate); err == nil {
+		if err := dp.validate(candidate); err == nil {
 			if grafted.Height <= dp.maxHeight() {
 				dp.plan = candidate
 				dp.publish()
 				dp.patched.Inc()
-				return PatchGrafted, nil
+				return PatchGrafted, results, nil
 			}
 			if flap {
 				dp.plan = candidate
 				dp.publish()
 				dp.suppressed.Inc()
-				return PatchSuppressed, nil
+				return PatchSuppressed, results, nil
 			}
 		}
 	}
-	// Graft unavailable, uncertified, or too degraded on a quiet link.
+	// Graft unavailable, uncertified, or too degraded on quiet links.
 	if err := dp.rebuild(); err != nil {
-		return PatchUnchanged, err
+		return PatchUnchanged, results, err
 	}
 	dp.rebuilt.Inc()
-	return PatchRebuilt, nil
+	return PatchRebuilt, results, nil
 }
 
 // reuse rebinds the served plan's compact form onto the current topology

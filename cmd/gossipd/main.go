@@ -4,12 +4,14 @@
 // and reusable, so a serving process pays construction once per distinct
 // topology and answers every later request from memory.
 //
-// API (JSON bodies; see DESIGN.md §11):
+// API (JSON bodies; see DESIGN.md §11 and §14):
 //
 //	POST /plan      {"topology":"ring","n":1024}             -> plan summary + cache source
 //	POST /execute   {"topology":"ring","n":64,"link_loss":0.01} -> fault report
-//	GET  /healthz   liveness + cache occupancy
-//	GET  /metrics   Prometheus text: plancache_* and gossipd_* series
+//	POST /mutate    {"session":"s","topology":"ring","n":64,"mutations":[...]} -> batch churn
+//	GET  /healthz   liveness only: process up, HTTP stack answering
+//	GET  /readyz    readiness: cache/store/cluster detail, "degraded" after disk failure
+//	GET  /metrics   Prometheus text: plancache_*, planstore_* and gossipd_* series
 //
 // Requests are admitted through a bounded worker pool: -workers requests
 // compute concurrently, -queue more may wait, and everything beyond that is
@@ -18,6 +20,18 @@
 // error; invalid topology parameters return 400. SIGTERM / SIGINT starts a
 // graceful drain: the listener closes, in-flight requests finish (up to
 // -drain), and the process exits 0.
+//
+// -store roots a crash-safe disk tier under the plan cache: plans built
+// once persist (checksummed, atomically renamed into place) and a restarted
+// process warm-starts from them instead of rebuilding. A failing store
+// degrades the process to memory-only serving — visible in /readyz and the
+// planstore_degraded gauge — and never costs a request.
+//
+// -peers + -self put the replica in a cluster: plan requests are routed by
+// topology fingerprint over a consistent-hash ring, so each replica's cache
+// owns a disjoint key range. A replica that cannot reach the owner serves
+// the request itself; a proxied request is marked (X-Gossipd-Forwarded) and
+// always served locally by the receiver, so routing is one hop at most.
 package main
 
 import (
@@ -29,6 +43,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 )
@@ -42,16 +57,36 @@ func main() {
 		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown budget after SIGTERM")
 		cacheEntries = flag.Int("cache-entries", 512, "plan cache capacity in plans (<=0: unbounded)")
 		cacheBytes   = flag.Int64("cache-bytes", 512<<20, "plan cache capacity in estimated bytes (<=0: unbounded)")
+		storeDir     = flag.String("store", "", "directory for the crash-safe plan store (empty: memory-only)")
+		sessionTTL   = flag.Duration("session-ttl", 0, "evict /mutate sessions idle longer than this (0: never)")
+		peersFlag    = flag.String("peers", "", "comma-separated base URLs of all replicas, self included")
+		self         = flag.String("self", "", "this replica's base URL as it appears in -peers")
 	)
 	flag.Parse()
 
-	s := newServer(serverConfig{
+	var peers []string
+	if *peersFlag != "" {
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+	}
+	s, err := newServer(serverConfig{
 		workers:      *workers,
 		queue:        *queue,
 		timeout:      *timeout,
 		cacheEntries: *cacheEntries,
 		cacheBytes:   *cacheBytes,
+		storeDir:     *storeDir,
+		sessionTTL:   *sessionTTL,
+		peers:        peers,
+		self:         *self,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gossipd:", err)
+		os.Exit(2)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.handler(),
@@ -63,8 +98,16 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "gossipd: serving on http://%s (workers=%d queue=%d cache=%d plans / %d bytes)\n",
-		*addr, *workers, *queue, *cacheEntries, *cacheBytes)
+	mode := "standalone"
+	if s.ring != nil {
+		mode = fmt.Sprintf("cluster of %d (self=%s)", s.ring.Len(), s.self)
+	}
+	store := "no store"
+	if *storeDir != "" {
+		store = "store=" + *storeDir
+	}
+	fmt.Fprintf(os.Stderr, "gossipd: serving on http://%s (workers=%d queue=%d cache=%d plans / %d bytes, %s, %s)\n",
+		*addr, *workers, *queue, *cacheEntries, *cacheBytes, store, mode)
 
 	select {
 	case err := <-errc:
@@ -85,6 +128,6 @@ func main() {
 		os.Exit(1)
 	}
 	st := s.cache.Stats()
-	fmt.Fprintf(os.Stderr, "gossipd: drained cleanly (%d hits, %d misses, %d coalesced, %d evictions, %d plans resident)\n",
-		st.Hits, st.Misses, st.Coalesced, st.Evictions, st.Entries)
+	fmt.Fprintf(os.Stderr, "gossipd: drained cleanly (%d hits, %d misses, %d disk hits, %d coalesced, %d evictions, %d plans resident)\n",
+		st.Hits, st.Misses, st.DiskHits, st.Coalesced, st.Evictions, st.Entries)
 }

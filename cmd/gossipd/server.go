@@ -5,17 +5,21 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"time"
 
 	"multigossip"
 	"multigossip/internal/cliutil"
+	"multigossip/internal/ring"
 )
 
 // serverConfig sizes the serving layer.
@@ -25,6 +29,24 @@ type serverConfig struct {
 	timeout      time.Duration // per-request budget, queue wait included
 	cacheEntries int
 	cacheBytes   int64
+
+	// storeDir roots the crash-safe disk tier under the plan cache; empty
+	// disables it (memory-only serving, exactly as before).
+	storeDir string
+
+	// sessionTTL evicts /mutate sessions idle longer than this; zero keeps
+	// sessions for the life of the process.
+	sessionTTL time.Duration
+
+	// peers is the cluster membership as base URLs, self included; fewer
+	// than two peers means standalone. self must appear in peers verbatim.
+	peers []string
+	self  string
+
+	// now is the clock (tests inject a fake one); nil means time.Now.
+	now func() time.Time
+	// logf receives store and cluster event lines; nil logs to stderr.
+	logf func(format string, args ...any)
 }
 
 // server serves gossip plans from a fingerprinted cache behind a bounded
@@ -32,6 +54,8 @@ type serverConfig struct {
 type server struct {
 	cache   *multigossip.PlanCache
 	metrics *multigossip.Metrics
+	// store is the disk tier under the cache; nil when -store is unset.
+	store *multigossip.PlanStore
 	// slots is the admission bound: workers + queue tokens. A request that
 	// cannot take a token immediately is rejected with 429 — open-loop
 	// clients get instant backpressure instead of an unbounded queue.
@@ -41,18 +65,28 @@ type server struct {
 	active  chan struct{}
 	timeout time.Duration
 	start   time.Time
+	now     func() time.Time
+	logf    func(format string, args ...any)
+
+	// ring routes plan requests to their owning replica; nil when the
+	// server runs standalone. self is this replica's base URL in the ring.
+	ring   *ring.Ring
+	self   string
+	client *http.Client
 
 	// sessions holds the named churn sessions /mutate drives. sessionsMu
-	// guards the map only; each session has its own lock because a
-	// DynamicPlanner is not safe for concurrent use.
+	// guards the map only (lastUse included); each session has its own lock
+	// because a DynamicPlanner is not safe for concurrent use.
 	sessionsMu sync.Mutex
 	sessions   map[string]*churnSession
+	sessionTTL time.Duration
 
 	reqs, rejected, clientErrs, serverErrs *multigossip.MetricsCounter
+	proxied, proxyErrs, expiredSessions    *multigossip.MetricsCounter
 	latency                                *multigossip.MetricsHistogram
 }
 
-func newServer(cfg serverConfig) *server {
+func newServer(cfg serverConfig) (*server, error) {
 	if cfg.workers < 1 {
 		cfg.workers = 1
 	}
@@ -62,35 +96,78 @@ func newServer(cfg serverConfig) *server {
 	if cfg.timeout <= 0 {
 		cfg.timeout = 10 * time.Second
 	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	if cfg.logf == nil {
+		cfg.logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "gossipd: "+format+"\n", args...)
+		}
+	}
 	m := multigossip.NewMetrics()
-	return &server{
-		sessions: make(map[string]*churnSession),
-		cache: multigossip.NewPlanCache(
-			multigossip.WithCacheCapacity(cfg.cacheEntries),
-			multigossip.WithCacheBytes(cfg.cacheBytes),
-			multigossip.WithCacheMetrics(m),
-		),
+	cacheOpts := []multigossip.CacheOption{
+		multigossip.WithCacheCapacity(cfg.cacheEntries),
+		multigossip.WithCacheBytes(cfg.cacheBytes),
+		multigossip.WithCacheMetrics(m),
+	}
+	var store *multigossip.PlanStore
+	if cfg.storeDir != "" {
+		store = multigossip.OpenPlanStore(cfg.storeDir,
+			multigossip.WithStoreMetrics(m),
+			multigossip.WithStoreLogger(cfg.logf))
+		cacheOpts = append(cacheOpts, multigossip.WithCacheStore(store))
+	}
+	s := &server{
+		sessions:   make(map[string]*churnSession),
+		cache:      multigossip.NewPlanCache(cacheOpts...),
 		metrics:    m,
+		store:      store,
 		slots:      make(chan struct{}, cfg.workers+cfg.queue),
 		active:     make(chan struct{}, cfg.workers),
 		timeout:    cfg.timeout,
 		start:      time.Now(),
+		now:        cfg.now,
+		logf:       cfg.logf,
+		sessionTTL: cfg.sessionTTL,
+		client:     &http.Client{Timeout: cfg.timeout},
 		reqs:       m.Counter("gossipd_requests_total"),
 		rejected:   m.Counter("gossipd_rejected_total"),
 		clientErrs: m.Counter("gossipd_client_errors_total"),
 		serverErrs: m.Counter("gossipd_server_errors_total"),
+		proxied:    m.Counter("gossipd_proxied_total"),
+		proxyErrs:  m.Counter("gossipd_proxy_errors_total"),
+		expiredSessions: m.Counter(
+			"gossipd_sessions_expired_total"),
 		latency: m.Histogram("gossipd_request_seconds",
 			[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}),
 	}
+	if len(cfg.peers) > 1 {
+		found := false
+		for _, p := range cfg.peers {
+			if p == cfg.self {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("self %q is not among the peers %v", cfg.self, cfg.peers)
+		}
+		r, err := ring.New(cfg.peers, 0)
+		if err != nil {
+			return nil, fmt.Errorf("building cluster ring: %w", err)
+		}
+		s.ring, s.self = r, cfg.self
+	}
+	return s, nil
 }
 
 // handler returns the routed HTTP handler.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /plan", s.bounded(s.handlePlan))
-	mux.HandleFunc("POST /execute", s.bounded(s.handleExecute))
+	mux.HandleFunc("POST /plan", s.bounded(s.routed(s.handlePlan)))
+	mux.HandleFunc("POST /execute", s.bounded(s.routed(s.handleExecute)))
 	mux.HandleFunc("POST /mutate", s.bounded(s.handleMutate))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -152,6 +229,80 @@ func (s *server) bounded(h func(w http.ResponseWriter, r *http.Request) (status 
 			s.fail(w, status, err)
 		}
 	}
+}
+
+// forwardedHeader marks a proxied request so the owning replica serves it
+// locally instead of re-routing — one hop, never a loop, even if replicas
+// momentarily disagree about membership.
+const forwardedHeader = "X-Gossipd-Forwarded"
+
+// servedByHeader names the replica whose cache answered, for observability.
+const servedByHeader = "X-Gossipd-Served-By"
+
+// routed wraps a plan-shaped handler with consistent-hash routing: in
+// cluster mode, a request whose topology hashes to another replica is
+// proxied there, so each replica's cache and disk tier serve a disjoint key
+// range and the cluster builds each plan once. Anything that stops the
+// proxy — unparseable spec, owner unreachable, owner overloaded — falls back
+// to serving locally: routing is an optimisation, never an availability
+// dependency.
+func (s *server) routed(h func(w http.ResponseWriter, r *http.Request) (int, error)) func(w http.ResponseWriter, r *http.Request) (int, error) {
+	return func(w http.ResponseWriter, r *http.Request) (int, error) {
+		if s.ring == nil || r.Header.Get(forwardedHeader) != "" {
+			return h(w, r)
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			return http.StatusBadRequest, fmt.Errorf("reading request body: %w", err)
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		var spec topologySpec
+		if json.Unmarshal(body, &spec) != nil {
+			return h(w, r) // let the local handler produce the 400
+		}
+		nw, err := buildNetwork(spec)
+		if err != nil {
+			return h(w, r)
+		}
+		owner := s.ring.Owner(nw.Fingerprint())
+		if owner == s.self {
+			w.Header().Set(servedByHeader, s.self)
+			return h(w, r)
+		}
+		if s.proxy(w, r, owner, body) == nil {
+			return 0, nil
+		}
+		s.proxyErrs.Inc()
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		w.Header().Set(servedByHeader, s.self)
+		return h(w, r)
+	}
+}
+
+// proxy forwards the request to the owning replica and streams its response
+// back verbatim. Only transport failures return an error (and trigger the
+// caller's local fallback); an HTTP error status from the owner is a real
+// answer and passes through.
+func (s *server) proxy(w http.ResponseWriter, r *http.Request, owner string, body []byte) error {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardedHeader, s.self)
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	s.proxied.Inc()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set(servedByHeader, owner)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return nil
 }
 
 // topologySpec names a network the way the CLI flags do, or carries it
@@ -455,11 +606,13 @@ const maxChurnSessions = 64
 
 // churnSession is one named dynamic topology: a network plus the
 // DynamicPlanner keeping its plan current. The planner is not safe for
-// concurrent use, so every request touching the session holds mu.
+// concurrent use, so every request touching the session holds mu. lastUse
+// belongs to the server's TTL sweep and is guarded by sessionsMu, not mu.
 type churnSession struct {
-	mu sync.Mutex
-	nw *multigossip.Network
-	dp *multigossip.DynamicPlanner
+	mu      sync.Mutex
+	nw      *multigossip.Network
+	dp      *multigossip.DynamicPlanner
+	lastUse time.Time
 }
 
 // mutationSpec is one topology mutation of a /mutate request.
@@ -493,6 +646,9 @@ type mutationResult struct {
 }
 
 // mutateResponse summarises the session's served plan after the batch.
+// Outcome is the batch's single plan decision — the whole mutation list is
+// absorbed by one reuse, one graft or one rebuild, not by a decision per
+// mutation.
 type mutateResponse struct {
 	Session     string           `json:"session"`
 	Created     bool             `json:"created"`
@@ -501,6 +657,7 @@ type mutateResponse struct {
 	Links       int              `json:"links"`
 	Radius      int              `json:"radius"`
 	Rounds      int              `json:"rounds"`
+	Outcome     string           `json:"outcome"`
 	Results     []mutationResult `json:"results"`
 }
 
@@ -508,11 +665,31 @@ type mutateResponse struct {
 // topology spec on first use. Sessions share the server's plan cache (so
 // /plan requests for a patched topology hit the patched plan) and metrics
 // registry (the churn_* counters aggregate across sessions).
+//
+// When a session TTL is configured, every call first sweeps sessions idle
+// past the TTL — eviction frees their slot against maxChurnSessions. A
+// request naming an unknown (or just-expired) session without a topology
+// spec is a 404: the client must re-create the session, not mutate a
+// topology the server no longer holds.
 func (s *server) session(req mutateRequest) (sess *churnSession, created bool, status int, err error) {
 	s.sessionsMu.Lock()
 	defer s.sessionsMu.Unlock()
+	now := s.now()
+	if s.sessionTTL > 0 {
+		for name, old := range s.sessions {
+			if now.Sub(old.lastUse) > s.sessionTTL {
+				delete(s.sessions, name)
+				s.expiredSessions.Inc()
+			}
+		}
+	}
 	if sess, ok := s.sessions[req.Session]; ok {
+		sess.lastUse = now
 		return sess, false, 0, nil
+	}
+	if req.Topology == "" && len(req.Edges) == 0 {
+		return nil, false, http.StatusNotFound,
+			fmt.Errorf("unknown or expired session %q: re-create it with a topology spec", req.Session)
 	}
 	if len(s.sessions) >= maxChurnSessions {
 		return nil, false, http.StatusTooManyRequests,
@@ -536,7 +713,7 @@ func (s *server) session(req mutateRequest) (sess *churnSession, created bool, s
 		}
 		return nil, false, http.StatusBadRequest, err
 	}
-	sess = &churnSession{nw: nw, dp: dp}
+	sess = &churnSession{nw: nw, dp: dp, lastUse: now}
 	s.sessions[req.Session] = sess
 	return sess, true, 0, nil
 }
@@ -570,20 +747,31 @@ func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) (int, erro
 			return http.StatusBadRequest, fmt.Errorf("mutations[%d]: %w", i, err)
 		}
 	}
-	results := make([]mutationResult, 0, len(req.Mutations))
-	for _, m := range req.Mutations {
-		var outcome multigossip.PatchOutcome
-		var err error
-		if m.Op == "add" {
-			outcome, err = sess.dp.AddLink(m.U, m.V)
-		} else {
-			outcome, err = sess.dp.RemoveLink(m.U, m.V)
+	// The whole list goes through one Apply: the planner nets out the damage
+	// against the final topology and makes a single reuse/graft/rebuild
+	// decision, instead of paying one decision (and one cache churn) per
+	// mutation. Refused mutations come back per-entry, not as a request
+	// error, so a batch keeps applying past a removal that would disconnect.
+	muts := make([]multigossip.Mutation, len(req.Mutations))
+	for i, m := range req.Mutations {
+		muts[i] = multigossip.Mutation{Remove: m.Op == "remove", U: m.U, V: m.V}
+	}
+	outcome, applied, err := sess.dp.Apply(muts)
+	if err != nil {
+		return http.StatusInternalServerError, err
+	}
+	results := make([]mutationResult, len(applied))
+	for i, a := range applied {
+		results[i] = mutationResult{Op: req.Mutations[i].Op, U: a.U, V: a.V}
+		switch {
+		case a.Err != nil:
+			results[i].Outcome = multigossip.PatchUnchanged.String()
+			results[i].Error = a.Err.Error()
+		case !a.Changed:
+			results[i].Outcome = multigossip.PatchUnchanged.String()
+		default:
+			results[i].Outcome = outcome.String()
 		}
-		res := mutationResult{Op: m.Op, U: m.U, V: m.V, Outcome: outcome.String()}
-		if err != nil {
-			res.Error = err.Error()
-		}
-		results = append(results, res)
 	}
 	plan := sess.dp.Plan()
 	writeJSON(w, http.StatusOK, mutateResponse{
@@ -594,24 +782,70 @@ func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) (int, erro
 		Links:       sess.nw.Links(),
 		Radius:      plan.Radius(),
 		Rounds:      plan.Rounds(),
+		Outcome:     outcome.String(),
 		Results:     results,
 	})
 	return 0, nil
 }
 
-// healthResponse is the /healthz body.
+// healthResponse is the /healthz body: pure liveness. The process is up and
+// the HTTP stack answers — nothing else. Orchestrators restart on a failed
+// /healthz, so it must not reflect conditions a restart cannot fix (a dead
+// disk would otherwise put the replica in a restart loop).
 type healthResponse struct {
-	Status   string                 `json:"status"`
-	UptimeMS int64                  `json:"uptime_ms"`
-	Cache    multigossip.CacheStats `json:"cache"`
+	Status   string `json:"status"`
+	UptimeMS int64  `json:"uptime_ms"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:   "ok",
 		UptimeMS: time.Since(s.start).Milliseconds(),
-		Cache:    s.cache.Stats(),
 	})
+}
+
+// clusterInfo describes this replica's place in the ring.
+type clusterInfo struct {
+	Self  string   `json:"self"`
+	Peers []string `json:"peers"`
+}
+
+// readyResponse is the /readyz body: readiness and serving detail. Status is
+// "degraded" when the disk tier has stopped writing — still HTTP 200,
+// because a degraded replica serves correctly from memory and pulling it
+// from rotation would turn a disk failure into lost capacity. Monitors that
+// want to page on degradation read the status string (or the
+// planstore_degraded gauge in /metrics).
+type readyResponse struct {
+	Status   string                  `json:"status"`
+	UptimeMS int64                   `json:"uptime_ms"`
+	Cache    multigossip.CacheStats  `json:"cache"`
+	Store    *multigossip.StoreStats `json:"store,omitempty"`
+	Cluster  *clusterInfo            `json:"cluster,omitempty"`
+	Sessions int                     `json:"sessions"`
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.sessionsMu.Lock()
+	nsess := len(s.sessions)
+	s.sessionsMu.Unlock()
+	resp := readyResponse{
+		Status:   "ok",
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Cache:    s.cache.Stats(),
+		Sessions: nsess,
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Store = &st
+		if s.store.Degraded() {
+			resp.Status = "degraded"
+		}
+	}
+	if s.ring != nil {
+		resp.Cluster = &clusterInfo{Self: s.self, Peers: s.ring.Members()}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

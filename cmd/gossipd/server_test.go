@@ -20,7 +20,13 @@ func testServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
 	if cfg.timeout == 0 {
 		cfg.timeout = 5 * time.Second
 	}
-	s := newServer(cfg)
+	if cfg.logf == nil {
+		cfg.logf = t.Logf
+	}
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -385,8 +391,14 @@ func TestMutateInvalid(t *testing.T) {
 	for _, c := range cases {
 		status, body := post(t, ts.URL, "/mutate", c.body)
 		want := http.StatusBadRequest
-		if c.name == "disconnected creation spec" {
+		switch c.name {
+		case "disconnected creation spec":
 			want = http.StatusUnprocessableEntity
+		case "unknown session without topology":
+			// The session does not exist and the request carries nothing to
+			// create it from: that's a missing resource, not a bad request —
+			// exactly what a client holding an expired session name sees.
+			want = http.StatusNotFound
 		}
 		if status != want {
 			t.Errorf("%s: status %d (%s), want %d", c.name, status, body, want)
@@ -478,9 +490,11 @@ func TestWorkerTimeout503(t *testing.T) {
 	}
 }
 
-// TestHealthzAndMetrics checks liveness and that the Prometheus dump
-// carries both the request counters and the plan-cache series, with the
-// cache counters reconciling against the requests made.
+// TestHealthzAndMetrics checks the liveness/readiness split — /healthz
+// says only "the process answers", /readyz carries the serving detail —
+// and that the Prometheus dump carries both the request counters and the
+// plan-cache series, with the cache counters reconciling against the
+// requests made.
 func TestHealthzAndMetrics(t *testing.T) {
 	_, ts := testServer(t, serverConfig{})
 	for i := 0; i < 3; i++ {
@@ -495,8 +509,24 @@ func TestHealthzAndMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if health.Status != "ok" || health.Cache.Misses != 1 || health.Cache.Hits != 2 {
-		t.Fatalf("health %+v, want ok with 1 miss and 2 hits", health)
+	if health.Status != "ok" {
+		t.Fatalf("health %+v, want ok", health)
+	}
+
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready readyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ready.Status != "ok" || ready.Cache.Misses != 1 || ready.Cache.Hits != 2 {
+		t.Fatalf("readyz %+v, want ok with 1 miss and 2 hits", ready)
+	}
+	if ready.Store != nil || ready.Cluster != nil {
+		t.Fatalf("readyz %+v reports a store/cluster on a storeless standalone server", ready)
 	}
 
 	resp, err = http.Get(ts.URL + "/metrics")

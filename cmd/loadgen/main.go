@@ -12,11 +12,20 @@
 // cache, evictions.
 //
 // After the run loadgen reconciles its own request log against the
-// server's /metrics deltas: client-observed hits, misses and coalesced
-// requests must match the plancache_* counters exactly (valid when loadgen
-// is the server's only client). With -assert it exits non-zero on any
-// mismatch, on a zero hit rate, or if a disconnected-network probe fails
-// to produce HTTP 422 — the serve-smoke gate of `make check`.
+// server's /metrics deltas: client-observed hits, misses, disk hits and
+// coalesced requests must match the plancache_* counters exactly (valid
+// when loadgen is the server's only client). With -assert it exits non-zero
+// on any mismatch, on a zero hit rate, or if a disconnected-network probe
+// fails to produce HTTP 422 — the serve-smoke gate of `make check`.
+//
+// With -gossipd pointing at a server binary, loadgen instead runs the
+// store/failover benchmark (see storebench.go): it spawns its own replica
+// fleet over per-replica store directories, measures cold construction
+// against warm-start-from-disk after SIGKILLing every replica, then drives
+// open-loop load with bounded jittered retries while one replica is killed
+// and resurrected mid-run — writing BENCH_store.json and, with -assert,
+// gating on zero warm rebuilds and >= 99.9% client success through the
+// outage.
 package main
 
 import (
@@ -80,6 +89,7 @@ type record struct {
 	Server struct {
 		Hits      int64 `json:"hits"`
 		Misses    int64 `json:"misses"`
+		DiskHits  int64 `json:"disk_hits"`
 		Coalesced int64 `json:"coalesced"`
 		Evictions int64 `json:"evictions"`
 		Entries   int64 `json:"entries"`
@@ -100,8 +110,36 @@ func main() {
 		assert   = flag.Bool("assert", false, "exit non-zero unless hit rate > 0, counters reconcile, and the 422 probe passes")
 		minSpeed = flag.Float64("min-speedup", 0, "with -assert, minimum hot/cold p50 speedup required (0 disables)")
 		ready    = flag.Duration("ready", 10*time.Second, "how long to wait for the server to become healthy")
+
+		// Store/failover benchmark mode: loadgen spawns its own replica
+		// fleet instead of driving an already-running server.
+		gossipdBin  = flag.String("gossipd", "", "path to a gossipd binary; set to run the store/failover benchmark (spawns replicas)")
+		replicas    = flag.Int("replicas", 2, "replica count for the store benchmark")
+		retries     = flag.Int("retries", 4, "bounded retries per request on 429/503/transport errors (store benchmark)")
+		storeOut    = flag.String("store-out", "BENCH_store.json", "store benchmark output record path")
+		failoverDur = flag.Duration("failover-duration", 6*time.Second, "failover phase length (store benchmark)")
 	)
 	flag.Parse()
+
+	if *gossipdBin != "" {
+		err := runStoreBench(storeBenchConfig{
+			bin:      *gossipdBin,
+			replicas: *replicas,
+			coldKeys: *coldKeys,
+			n:        *n,
+			rate:     *rate,
+			failover: *failoverDur,
+			retries:  *retries,
+			seed:     *seed,
+			out:      *storeOut,
+			assert:   *assert,
+			ready:    *ready,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
 	if err := waitReady(client, *url, *ready); err != nil {
@@ -169,13 +207,17 @@ func main() {
 	rec.Config.Seed = *seed
 	rec.Server.Hits = final["plancache_hits_total"] - base["plancache_hits_total"]
 	rec.Server.Misses = final["plancache_misses_total"] - base["plancache_misses_total"]
+	rec.Server.DiskHits = final["plancache_disk_hits_total"] - base["plancache_disk_hits_total"]
 	rec.Server.Coalesced = final["plancache_coalesced_total"] - base["plancache_coalesced_total"]
 	rec.Server.Evictions = final["plancache_evictions_total"] - base["plancache_evictions_total"]
 	rec.Server.Entries = final["plancache_entries"] - base["plancache_entries"]
+	// An entry is resident iff something materialised it (a construction or
+	// a disk load) and it has not been evicted since.
 	rec.Reconciled = rec.Server.Hits == int64(rec.Sources["hit"]) &&
 		rec.Server.Misses == int64(rec.Sources["miss"]) &&
+		rec.Server.DiskHits == int64(rec.Sources["disk"]) &&
 		rec.Server.Coalesced == int64(rec.Sources["coalesced"]) &&
-		rec.Server.Entries == rec.Server.Misses-rec.Server.Evictions
+		rec.Server.Entries == rec.Server.Misses+rec.Server.DiskHits-rec.Server.Evictions
 
 	if *out != "" && *out != "-" && *out != "/dev/null" {
 		data, _ := json.MarshalIndent(rec, "", "  ")

@@ -1,0 +1,225 @@
+package implicit
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+// decodePlanFor builds a plan, encodes it, and decodes the bytes back.
+func codecRoundtrip(t *testing.T, g *graph.Graph) (*Plan, *Plan) {
+	t.Helper()
+	tr, err := spantree.MinDepth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(spantree.Label(tr))
+	enc := p.AppendBinary(nil)
+	if len(enc) != p.EncodedLen() {
+		t.Fatalf("encoded %d bytes, EncodedLen says %d", len(enc), p.EncodedLen())
+	}
+	q, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return p, q
+}
+
+// TestCodecRoundtrip requires a decoded plan to answer every round and every
+// timetable bit-identically to the plan it was encoded from, across tree
+// shapes that exercise each closed-form rule.
+func TestCodecRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tops := map[string]*graph.Graph{
+		"ring32":  graph.Cycle(32),
+		"star17":  graph.Star(17),
+		"line25":  graph.Path(25),
+		"grid5x5": graph.Grid(5, 5),
+		"random":  graph.RandomConnected(rng, 48, 0.08),
+	}
+	for name, g := range tops {
+		p, q := codecRoundtrip(t, g)
+		if p.N() != q.N() || p.Height() != q.Height() || p.Rounds() != q.Rounds() {
+			t.Fatalf("%s: shape mismatch: n %d/%d height %d/%d", name, p.N(), q.N(), p.Height(), q.Height())
+		}
+		var a, b []schedule.Transmission
+		for r := 0; r < p.Rounds(); r++ {
+			a = p.RoundAppend(r, a[:0])
+			b = q.RoundAppend(r, b[:0])
+			if len(a) != len(b) {
+				t.Fatalf("%s round %d: %d vs %d transmissions", name, r, len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Msg != b[i].Msg || a[i].From != b[i].From || !equalInts(a[i].To, b[i].To) {
+					t.Fatalf("%s round %d tx %d: %+v vs %+v", name, r, i, a[i], b[i])
+				}
+			}
+		}
+		for v := 0; v < p.N(); v++ {
+			if !timetablesEqual(p.Timetable(v), q.Timetable(v)) {
+				t.Fatalf("%s: timetable of %d differs after roundtrip", name, v)
+			}
+		}
+		// A second encode of the decoded plan must be byte-identical: the
+		// format has one canonical serialisation per plan.
+		if !bytes.Equal(p.AppendBinary(nil), q.AppendBinary(nil)) {
+			t.Fatalf("%s: re-encoding the decoded plan changed the bytes", name)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func timetablesEqual(a, b *schedule.VertexTimetable) bool {
+	return a.Vertex == b.Vertex &&
+		equalInts(a.RecvParent, b.RecvParent) && equalInts(a.RecvChild, b.RecvChild) &&
+		equalInts(a.SendParent, b.SendParent) && equalInts(a.SendChild, b.SendChild)
+}
+
+// TestCodecRejects maps the malformed-input space to clean ErrCodec errors:
+// every case here is a real corruption class the disk tier can hand the
+// decoder after a checksum collision or a buggy writer.
+func TestCodecRejects(t *testing.T) {
+	g := graph.Cycle(16)
+	tr, err := spantree.MinDepth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := New(spantree.Label(tr)).AppendBinary(nil)
+
+	mutate := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), good...))
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     good[:8],
+		"truncated": good[:len(good)-5],
+		"bad magic": mutate(func(b []byte) []byte { b[0] ^= 0xFF; return b }),
+		"huge n": mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:], 1<<31-1)
+			return b
+		}),
+		"zero n": mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:], 0)
+			return b
+		}),
+		"wrong height": mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], 99)
+			return b
+		}),
+		"non-root label 0": mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:], 3)
+			return b
+		}),
+		"forward parent": mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12+4:], 7) // label 1's parent must be 0
+			return b
+		}),
+		"permutation repeat": mutate(func(b []byte) []byte {
+			n := int(binary.LittleEndian.Uint32(b[4:]))
+			perm := b[12+4*n:]
+			copy(perm[4:8], perm[0:4])
+			return b
+		}),
+		"permutation out of range": mutate(func(b []byte) []byte {
+			n := int(binary.LittleEndian.Uint32(b[4:]))
+			binary.LittleEndian.PutUint32(b[12+4*n:], uint32(n))
+			return b
+		}),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); !errors.Is(err, ErrCodec) {
+			t.Errorf("%s: Decode err = %v, want ErrCodec", name, err)
+		}
+	}
+}
+
+// TestCodecNonContiguousSubtree builds a parent array that is parent-ordered
+// but not a DFS preorder (the subtree of label 1 is {1, 3}, skipping 2) and
+// requires the contiguity check to reject it — the interval arithmetic of
+// the closed forms would silently mis-route messages otherwise.
+func TestCodecNonContiguousSubtree(t *testing.T) {
+	buf := append([]byte(nil), codecMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, 4) // n
+	buf = binary.LittleEndian.AppendUint32(buf, 2) // height of this parent array
+	for _, par := range []uint32{rootMark, 0, 0, 1} {
+		buf = binary.LittleEndian.AppendUint32(buf, par)
+	}
+	for v := uint32(0); v < 4; v++ {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+	}
+	if _, err := Decode(buf); !errors.Is(err, ErrCodec) {
+		t.Fatalf("Decode err = %v, want ErrCodec for non-contiguous subtree", err)
+	}
+}
+
+// TestParentOriginal checks the tree-edge accessor the store's decode
+// validation walks.
+func TestParentOriginal(t *testing.T) {
+	g := graph.Star(9)
+	tr, err := spantree.MinDepth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := spantree.Label(tr)
+	p := New(l)
+	roots := 0
+	for v := 0; v < p.N(); v++ {
+		par := p.ParentOriginal(v)
+		if par == -1 {
+			roots++
+			continue
+		}
+		if !g.HasEdge(v, par) {
+			t.Fatalf("tree edge %d-%d not in topology", v, par)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("%d roots, want 1", roots)
+	}
+}
+
+// FuzzPlanDecode is the store-robustness gate: no byte string, however
+// corrupt, may make the decoder panic, and anything it accepts must be a
+// plan whose re-encoding round-trips and whose rounds evaluate without
+// panicking.
+func FuzzPlanDecode(f *testing.F) {
+	g := graph.Cycle(12)
+	if tr, err := spantree.MinDepth(g); err == nil {
+		f.Add(New(spantree.Label(tr)).AppendBinary(nil))
+	}
+	f.Add([]byte{})
+	f.Add(codecMagic[:])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(p.AppendBinary(nil), data) {
+			t.Fatalf("accepted input does not round-trip")
+		}
+		var buf []schedule.Transmission
+		for r := 0; r < p.Rounds() && r < 64; r++ {
+			buf = p.RoundAppend(r, buf[:0])
+		}
+		for v := 0; v < p.N() && v < 16; v++ {
+			p.Timetable(v)
+		}
+	})
+}

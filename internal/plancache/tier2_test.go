@@ -1,0 +1,149 @@
+package plancache
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// mapTier2 is an in-memory Tier2 for testing the cache's load/store
+// protocol without a filesystem.
+type mapTier2 struct {
+	mu     sync.Mutex
+	data   map[Key]int
+	loads  int
+	stores int
+}
+
+func newMapTier2() *mapTier2 { return &mapTier2{data: map[Key]int{}} }
+
+func (m *mapTier2) Load(k Key) (int, int64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.loads++
+	v, ok := m.data[k]
+	return v, 8, ok
+}
+
+func (m *mapTier2) Store(k Key, v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stores++
+	m.data[k] = v
+}
+
+// TestTier2WriteThrough requires a built value to land in tier 2 and a
+// fresh cache over the same tier to serve it as a Disk source with zero
+// builds — the warm-start contract in miniature.
+func TestTier2WriteThrough(t *testing.T) {
+	t2 := newMapTier2()
+
+	cold := New[int](0, 0, nil)
+	cold.AttachTier2(t2)
+	v, src, err := cold.Get(key(1), func() (int, int64, error) { return 11, 8, nil })
+	if err != nil || v != 11 || src != Miss {
+		t.Fatalf("cold get = %d, %v, %v", v, src, err)
+	}
+	if t2.stores != 1 {
+		t.Fatalf("tier2 stores = %d after a build, want 1", t2.stores)
+	}
+
+	warm := New[int](0, 0, nil)
+	warm.AttachTier2(t2)
+	v, src, err = warm.Get(key(1), func() (int, int64, error) {
+		t.Fatal("warm start ran the build function")
+		return 0, 0, nil
+	})
+	if err != nil || v != 11 || src != Disk {
+		t.Fatalf("warm get = %d, %v, %v; want 11, Disk", v, src, err)
+	}
+	s := warm.Stats()
+	if s.Misses != 0 || s.DiskHits != 1 || s.Entries != 1 {
+		t.Fatalf("warm stats %+v, want 0 misses, 1 disk hit, 1 entry", s)
+	}
+	if t2.stores != 1 {
+		t.Fatalf("tier2 stores = %d after a disk hit, want still 1 (no re-store)", t2.stores)
+	}
+
+	// The disk hit populated tier 1, so the next Get is a plain memory hit
+	// with no further tier-2 traffic.
+	loadsBefore := t2.loads
+	if _, src, _ := warm.Get(key(1), nil); src != Hit {
+		t.Fatalf("second warm get source = %v, want Hit", src)
+	}
+	if t2.loads != loadsBefore {
+		t.Fatalf("memory hit touched tier 2 (%d -> %d loads)", loadsBefore, t2.loads)
+	}
+}
+
+// TestTier2MissBuilds requires a key absent from both tiers to build once
+// and count as a Miss, and a build error to leave tier 2 unwritten.
+func TestTier2MissBuilds(t *testing.T) {
+	t2 := newMapTier2()
+	c := New[int](0, 0, nil)
+	c.AttachTier2(t2)
+
+	boom := errors.New("boom")
+	if _, _, err := c.Get(key(2), func() (int, int64, error) { return 0, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the build error", err)
+	}
+	if t2.stores != 0 {
+		t.Fatal("a failed build must not write tier 2")
+	}
+	if s := c.Stats(); s.Misses != 1 || s.DiskHits != 0 {
+		t.Fatalf("stats %+v, want 1 miss", s)
+	}
+}
+
+// TestTier2Singleflight races many callers for a tier-2-resident key and
+// requires exactly one tier-2 load: followers coalesce on the flight, they
+// do not stampede the disk.
+func TestTier2Singleflight(t *testing.T) {
+	t2 := newMapTier2()
+	t2.data[key(3)] = 33
+
+	c := New[int](0, 0, nil)
+	c.AttachTier2(t2)
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	const callers = 50
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			v, _, err := c.Get(key(3), func() (int, int64, error) {
+				t.Error("build ran for a tier-2-resident key")
+				return 0, 0, nil
+			})
+			if err != nil || v != 33 {
+				t.Errorf("get = %d, %v", v, err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if t2.loads != 1 {
+		t.Fatalf("tier2 loads = %d for %d racing callers, want 1", t2.loads, callers)
+	}
+	s := c.Stats()
+	if s.DiskHits != 1 || s.Misses != 0 {
+		t.Fatalf("stats %+v, want exactly 1 disk hit and 0 misses", s)
+	}
+	if s.Hits+s.Misses+s.DiskHits+s.Coalesced != callers {
+		t.Fatalf("counter reconciliation broke: %+v over %d calls", s, callers)
+	}
+}
+
+// TestNoTier2Unchanged pins the pre-tier-2 behaviour: without AttachTier2
+// the cache builds on miss exactly as before and DiskHits stays zero.
+func TestNoTier2Unchanged(t *testing.T) {
+	c := New[int](0, 0, nil)
+	v, src, err := c.Get(key(4), func() (int, int64, error) { return 44, 8, nil })
+	if err != nil || v != 44 || src != Miss {
+		t.Fatalf("get = %d, %v, %v", v, src, err)
+	}
+	if s := c.Stats(); s.DiskHits != 0 {
+		t.Fatalf("DiskHits = %d with no tier attached", s.DiskHits)
+	}
+}

@@ -1,0 +1,356 @@
+// Package planstore is the disk tier of the serving layer's plan storage: a
+// content-addressed store of encoded plans keyed by (network fingerprint,
+// algorithm), written crash-safely and read defensively.
+//
+// Plans are expensive to construct but immutable and content-addressable
+// once built, which makes the store's contract simple and strict:
+//
+//   - Durability. Every entry is written to a temp file in the store
+//     directory, fsynced, atomically renamed into place, and the directory
+//     fsynced — a crash at any instant leaves either the complete old state
+//     or the complete new state, never a torn entry under the final name.
+//
+//   - Detection. Every entry carries a 32-byte header (magic, version,
+//     algorithm, fingerprint, payload length, CRC-64/ECMA of the payload).
+//     Load verifies all of it; truncation, bit flips and foreign files are
+//     classified as corruption, not served.
+//
+//   - Quarantine. A corrupt entry is moved into the quarantine/
+//     subdirectory (or deleted if even that fails) and reported as a miss,
+//     so the caller recomputes and overwrites — a bad disk block costs one
+//     rebuild, never a wrong answer and never a second read of the same
+//     bad bytes.
+//
+//   - Degradation. The store never takes the serving process down with it.
+//     Open probes writability and a store whose directory is unwritable or
+//     whose disk fills up marks itself degraded: writes stop, reads keep
+//     being attempted, and the serving layer keeps answering from memory.
+//     The degraded flag and every failure class are exported as metrics.
+package planstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"multigossip/internal/obs"
+)
+
+// Wire layout of one entry file: a fixed 32-byte header followed by the
+// payload (the plan codec's bytes; opaque to this package).
+//
+//	offset  size  field
+//	0       4     magic "MGS1"
+//	4       1     format version (1)
+//	5       1     algorithm code
+//	6       2     reserved, must be zero
+//	8       8     network fingerprint, little-endian
+//	16      8     payload length, little-endian
+//	24      8     CRC-64/ECMA of the payload, little-endian
+const (
+	headerLen = 32
+	version   = 1
+)
+
+var magic = [4]byte{'M', 'G', 'S', '1'}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// ErrNotFound reports a clean miss: no entry exists for the key.
+var ErrNotFound = errors.New("planstore: entry not found")
+
+// ErrCorrupt reports that an entry existed but failed validation and has
+// been quarantined; the caller should recompute.
+var ErrCorrupt = errors.New("planstore: entry corrupt")
+
+// ErrDegraded reports that the store has stopped writing after an earlier
+// failure (unwritable directory, full disk). Reads still work.
+var ErrDegraded = errors.New("planstore: store is degraded, writes disabled")
+
+// Stats is a point-in-time snapshot of the store counters.
+type Stats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Writes      int64 `json:"writes"`
+	WriteErrors int64 `json:"write_errors"`
+	Quarantined int64 `json:"quarantined"`
+	Degraded    bool  `json:"degraded"`
+}
+
+// Store is a crash-safe content-addressed plan store rooted at one
+// directory. Safe for concurrent use: writes are atomic renames of unique
+// temp files, reads are whole-file snapshots, and the degraded flag is an
+// atomic. Multiple processes may even share a directory — identical keys
+// hold identical bytes, so concurrent writers are idempotent.
+type Store struct {
+	dir      string
+	degraded atomic.Bool
+	logf     func(format string, args ...any)
+
+	hits, misses, writes, writeErrs, quarantined *obs.Counter
+	degradedG                                    *obs.Gauge
+}
+
+// Open roots a store at dir, creating it (and its quarantine subdirectory)
+// as needed, and probes writability with a real fsynced write. Open never
+// fails the caller into a worse state than memory-only serving: any
+// environment problem — missing permissions, read-only filesystem, full
+// disk — comes back as an already-degraded store, not an error. Counters
+// and the degraded gauge register in reg under planstore_* names; a nil reg
+// uses a private registry. logf receives one line per noteworthy event
+// (degradation, quarantine) and may be nil.
+func Open(dir string, reg *obs.Registry, logf func(format string, args ...any)) *Store {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Store{
+		dir:         dir,
+		logf:        logf,
+		hits:        reg.Counter("planstore_hits_total"),
+		misses:      reg.Counter("planstore_misses_total"),
+		writes:      reg.Counter("planstore_writes_total"),
+		writeErrs:   reg.Counter("planstore_write_errors_total"),
+		quarantined: reg.Counter("planstore_quarantined_total"),
+		degradedG:   reg.Gauge("planstore_degraded"),
+	}
+	if err := s.probe(); err != nil {
+		s.degrade("open probe: %v", err)
+	}
+	return s
+}
+
+// probe proves the directory accepts durable writes the same way Save will.
+func (s *Store) probe() error {
+	if err := os.MkdirAll(filepath.Join(s.dir, "quarantine"), 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(s.dir, ".probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	defer os.Remove(name)
+	if _, err := f.Write([]byte("probe")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Degraded reports whether the store has given up on writes.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
+
+// degrade flips the store into memory-only mode and logs why, once.
+func (s *Store) degrade(format string, args ...any) {
+	if s.degraded.CompareAndSwap(false, true) {
+		s.degradedG.Set(1)
+		s.logf("planstore: degraded to memory-only serving: "+format, args...)
+	}
+}
+
+// entryPath names the entry file for a key: content-addressed, so equal
+// keys always collide onto the same file with the same bytes.
+func (s *Store) entryPath(fp uint64, algo int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%016x-%02x.plan", fp, algo&0xFF))
+}
+
+// Save durably stores payload under (fp, algo), overwriting any previous
+// entry. The write is crash-safe: temp file, fsync, atomic rename, directory
+// fsync. A failed write quarantines nothing (the old entry, if any, is
+// untouched) but degrades the store so later saves stop burning syscalls on
+// a dead disk.
+func (s *Store) Save(fp uint64, algo int, payload []byte) error {
+	if s.degraded.Load() {
+		return ErrDegraded
+	}
+	err := s.save(fp, algo, payload)
+	if err != nil {
+		s.writeErrs.Inc()
+		s.degrade("save %016x-%02x: %v", fp, algo, err)
+		return err
+	}
+	s.writes.Inc()
+	return nil
+}
+
+func (s *Store) save(fp uint64, algo int, payload []byte) error {
+	var hdr [headerLen]byte
+	copy(hdr[:4], magic[:])
+	hdr[4] = version
+	hdr[5] = byte(algo)
+	binary.LittleEndian.PutUint64(hdr[8:], fp)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[24:], crc64.Checksum(payload, crcTable))
+
+	f, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(hdr[:]); err != nil {
+		return cleanup(err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	final := s.entryPath(fp, algo)
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some filesystems refuse to fsync directories; losing the rename's
+	// durability there is the platform's limit, not a store failure.
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
+}
+
+// Load returns the payload stored under (fp, algo). A missing entry is
+// ErrNotFound; an entry that fails any validation step — magic, version,
+// algorithm, fingerprint, length, checksum — is quarantined and reported as
+// ErrCorrupt. Either way the caller's move is the same: rebuild.
+func (s *Store) Load(fp uint64, algo int) ([]byte, error) {
+	path := s.entryPath(fp, algo)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Inc()
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("planstore: read %s: %w", filepath.Base(path), err)
+	}
+	payload, err := validate(data, fp, algo)
+	if err != nil {
+		s.quarantine(path, err)
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	s.hits.Inc()
+	return payload, nil
+}
+
+// validate checks one entry file image against the expected key and returns
+// the payload slice.
+func validate(data []byte, fp uint64, algo int) ([]byte, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("truncated header: %d bytes", len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, fmt.Errorf("bad magic %q", data[:4])
+	}
+	if data[4] != version {
+		return nil, fmt.Errorf("format version %d, want %d", data[4], version)
+	}
+	if int(data[5]) != algo&0xFF {
+		return nil, fmt.Errorf("algorithm %d, want %d", data[5], algo)
+	}
+	if data[6] != 0 || data[7] != 0 {
+		return nil, fmt.Errorf("reserved bytes %x %x, want zero", data[6], data[7])
+	}
+	if got := binary.LittleEndian.Uint64(data[8:]); got != fp {
+		return nil, fmt.Errorf("fingerprint %016x, want %016x", got, fp)
+	}
+	payload := data[headerLen:]
+	if want := binary.LittleEndian.Uint64(data[16:]); want != uint64(len(payload)) {
+		return nil, fmt.Errorf("payload length %d, header says %d (torn write)", len(payload), want)
+	}
+	if want := binary.LittleEndian.Uint64(data[24:]); crc64.Checksum(payload, crcTable) != want {
+		return nil, fmt.Errorf("payload checksum mismatch")
+	}
+	return payload, nil
+}
+
+// quarantine moves a corrupt entry aside so it is never read again, falling
+// back to deletion when even the move fails. The timestamp suffix keeps
+// repeated corruptions of one key distinguishable for post-mortems.
+func (s *Store) quarantine(path string, reason error) {
+	s.quarantined.Inc()
+	dst := filepath.Join(s.dir, "quarantine",
+		fmt.Sprintf("%s.%d", filepath.Base(path), time.Now().UnixNano()))
+	if err := os.Rename(path, dst); err != nil {
+		if rmErr := os.Remove(path); rmErr != nil {
+			s.logf("planstore: quarantine of %s failed (%v) and removal failed (%v); entry will be re-detected", filepath.Base(path), err, rmErr)
+		} else {
+			s.logf("planstore: quarantined %s by deletion (%v): %v", filepath.Base(path), err, reason)
+		}
+		return
+	}
+	s.logf("planstore: quarantined %s: %v", filepath.Base(path), reason)
+}
+
+// Drop quarantines the entry under (fp, algo) for a reason the store could
+// not see itself — the caller decoded the payload and found it semantically
+// invalid despite a clean checksum. A missing entry is a no-op.
+func (s *Store) Drop(fp uint64, algo int, reason error) {
+	path := s.entryPath(fp, algo)
+	if _, err := os.Stat(path); err != nil {
+		return
+	}
+	s.quarantine(path, reason)
+}
+
+// Entries counts the valid-named entry files currently on disk (quarantined
+// files excluded). It exists for readiness reporting and tests; it reads
+// the directory, not the entries.
+func (s *Store) Entries() int {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	count := 0
+	for _, e := range names {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".plan" {
+			count++
+		}
+	}
+	return count
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:        s.hits.Value(),
+		Misses:      s.misses.Value(),
+		Writes:      s.writes.Value(),
+		WriteErrors: s.writeErrs.Value(),
+		Quarantined: s.quarantined.Value(),
+		Degraded:    s.degraded.Load(),
+	}
+}

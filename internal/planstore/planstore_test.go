@@ -1,0 +1,334 @@
+package planstore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"multigossip/internal/obs"
+)
+
+func openTest(t *testing.T) *Store {
+	t.Helper()
+	return Open(t.TempDir(), obs.NewRegistry(), t.Logf)
+}
+
+// entryFile returns the single *.plan file in the store directory.
+func entryFile(t *testing.T, s *Store) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(s.Dir(), "*.plan"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("want exactly one entry file, got %v (%v)", matches, err)
+	}
+	return matches[0]
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	s := openTest(t)
+	payload := []byte("not a real plan, but the store does not care")
+	if err := s.Save(0xDEADBEEF, 1, payload); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := s.Load(0xDEADBEEF, 1)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload changed across the disk roundtrip")
+	}
+	if s.Entries() != 1 {
+		t.Fatalf("entries = %d, want 1", s.Entries())
+	}
+	st := s.Stats()
+	if st.Writes != 1 || st.Hits != 1 || st.Misses != 0 || st.Quarantined != 0 || st.Degraded {
+		t.Fatalf("stats %+v after one save and one hit", st)
+	}
+}
+
+func TestLoadMiss(t *testing.T) {
+	s := openTest(t)
+	if _, err := s.Load(42, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("load of absent key: err = %v, want ErrNotFound", err)
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+}
+
+// TestKeySeparation checks the same fingerprint under two algorithms and two
+// fingerprints under one algorithm land in distinct entries.
+func TestKeySeparation(t *testing.T) {
+	s := openTest(t)
+	for _, e := range []struct {
+		fp      uint64
+		algo    int
+		payload string
+	}{{7, 0, "a"}, {7, 1, "b"}, {8, 0, "c"}} {
+		if err := s.Save(e.fp, e.algo, []byte(e.payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []struct {
+		fp      uint64
+		algo    int
+		payload string
+	}{{7, 0, "a"}, {7, 1, "b"}, {8, 0, "c"}} {
+		got, err := s.Load(e.fp, e.algo)
+		if err != nil || string(got) != e.payload {
+			t.Fatalf("load(%d,%d) = %q, %v; want %q", e.fp, e.algo, got, err, e.payload)
+		}
+	}
+	if s.Entries() != 3 {
+		t.Fatalf("entries = %d, want 3", s.Entries())
+	}
+}
+
+// TestCorruptionQuarantined walks every corruption class the checksum header
+// must catch: truncation mid-payload, truncation mid-header, a payload bit
+// flip, a header (fingerprint) bit flip, and a foreign file. Each must come
+// back ErrCorrupt, move the entry to quarantine/, and leave a subsequent
+// Load reporting a clean miss so the caller rebuilds.
+func TestCorruptionQuarantined(t *testing.T) {
+	payload := bytes.Repeat([]byte("plan-bytes"), 20)
+	corruptions := map[string]func(data []byte) []byte{
+		"truncated payload": func(d []byte) []byte { return d[:len(d)-7] },
+		"truncated header":  func(d []byte) []byte { return d[:headerLen/2] },
+		"payload bit flip":  func(d []byte) []byte { d[headerLen+13] ^= 0x04; return d },
+		"header bit flip":   func(d []byte) []byte { d[9] ^= 0x80; return d },
+		"foreign file":      func(d []byte) []byte { return []byte("lost+found debris") },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			s := openTest(t)
+			if err := s.Save(99, 0, payload); err != nil {
+				t.Fatal(err)
+			}
+			path := entryFile(t, s)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			if _, err := s.Load(99, 0); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("load of corrupt entry: err = %v, want ErrCorrupt", err)
+			}
+			if st := s.Stats(); st.Quarantined != 1 {
+				t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+			}
+			q, err := filepath.Glob(filepath.Join(s.Dir(), "quarantine", "*.plan.*"))
+			if err != nil || len(q) != 1 {
+				t.Fatalf("quarantine dir holds %v (%v), want the one bad entry", q, err)
+			}
+			// The store never reads the same bad bytes twice: the slot is
+			// now a plain miss, and a recomputed Save fills it again.
+			if _, err := s.Load(99, 0); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("load after quarantine: err = %v, want ErrNotFound", err)
+			}
+			if err := s.Save(99, 0, payload); err != nil {
+				t.Fatalf("recompute save: %v", err)
+			}
+			got, err := s.Load(99, 0)
+			if err != nil || !bytes.Equal(got, payload) {
+				t.Fatalf("recovered load = %v, err %v", got, err)
+			}
+			if s.Degraded() {
+				t.Fatal("corruption must not degrade the store; only write failures do")
+			}
+		})
+	}
+}
+
+// TestWrongKeyQuarantined renames a valid entry onto another key's path —
+// the on-disk analogue of a mixed-up rsync — and requires the fingerprint
+// check in the header to refuse it.
+func TestWrongKeyQuarantined(t *testing.T) {
+	s := openTest(t)
+	if err := s.Save(1, 0, []byte("plan for fingerprint 1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(s.entryPath(1, 0), s.entryPath(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(2, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("load under the wrong key: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestUnwritableDirDegrades opens a store in a directory it cannot write
+// and requires memory-only degradation rather than an error: Open succeeds,
+// Degraded() is true, Save refuses with ErrDegraded, and the degraded gauge
+// shows in the registry snapshot.
+func TestUnwritableDirDegrades(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root; chmod 0555 does not block writes")
+	}
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "store")
+	if err := os.Mkdir(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s := Open(dir, reg, t.Logf)
+	if !s.Degraded() {
+		t.Fatal("store in an unwritable directory must open degraded")
+	}
+	if err := s.Save(5, 0, []byte("x")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("save on degraded store: err = %v, want ErrDegraded", err)
+	}
+	if _, err := s.Load(5, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("load on degraded store: err = %v, want clean miss", err)
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("planstore_degraded 1")) {
+		t.Fatalf("metrics do not report planstore_degraded 1:\n%s", buf.String())
+	}
+}
+
+// TestWriteFailureDegrades breaks the directory after Open (the disk "dies"
+// mid-run) and requires the first failed Save to flip the store degraded
+// while previously written entries stay readable.
+func TestWriteFailureDegrades(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root; chmod 0555 does not block writes")
+	}
+	s := openTest(t)
+	if err := s.Save(1, 0, []byte("before the disk died")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(s.Dir(), 0o555); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chmod(s.Dir(), 0o755) })
+
+	if err := s.Save(2, 0, []byte("x")); err == nil {
+		t.Fatal("save into an unwritable directory succeeded")
+	}
+	if !s.Degraded() {
+		t.Fatal("failed save must degrade the store")
+	}
+	if err := s.Save(3, 0, []byte("y")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("save after degradation: err = %v, want ErrDegraded without touching disk", err)
+	}
+	got, err := s.Load(1, 0)
+	if err != nil || string(got) != "before the disk died" {
+		t.Fatalf("pre-failure entry unreadable after degradation: %q, %v", got, err)
+	}
+	if st := s.Stats(); st.WriteErrors != 1 || !st.Degraded {
+		t.Fatalf("stats %+v, want one write error and degraded", st)
+	}
+}
+
+// TestWarmStartSharesDirectory reopens a store over an existing directory —
+// the restart path — and requires the old entries to hit.
+func TestWarmStartSharesDirectory(t *testing.T) {
+	dir := t.TempDir()
+	s1 := Open(dir, obs.NewRegistry(), t.Logf)
+	if err := s1.Save(77, 1, []byte("survives restarts")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := Open(dir, obs.NewRegistry(), t.Logf)
+	got, err := s2.Load(77, 1)
+	if err != nil || string(got) != "survives restarts" {
+		t.Fatalf("warm load = %q, %v", got, err)
+	}
+	if st := s2.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("warm stats %+v, want pure hit", st)
+	}
+}
+
+// TestSaveOverwrite replaces an entry in place and requires readers to see
+// only complete states.
+func TestSaveOverwrite(t *testing.T) {
+	s := openTest(t)
+	if err := s.Save(3, 0, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(3, 0, []byte("v2 rather longer than before")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(3, 0)
+	if err != nil || string(got) != "v2 rather longer than before" {
+		t.Fatalf("load after overwrite = %q, %v", got, err)
+	}
+	if s.Entries() != 1 {
+		t.Fatalf("entries = %d after overwrite, want 1", s.Entries())
+	}
+}
+
+// TestNilRegistryAndLogger exercises the permissive Open contract.
+func TestNilRegistryAndLogger(t *testing.T) {
+	s := Open(t.TempDir(), nil, nil)
+	if err := s.Save(1, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenUncreatableDirDegrades roots the store where no directory can
+// ever exist — under a regular file — and requires the full degradation
+// contract without any permission tricks (so it runs even as root, where
+// chmod-based unwritability tests cannot): Open returns a degraded store,
+// Save refuses with ErrDegraded, Load still answers (with a miss), and the
+// gauge reports the state.
+func TestOpenUncreatableDirDegrades(t *testing.T) {
+	parent := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(parent, []byte("a file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s := Open(filepath.Join(parent, "store"), reg, t.Logf)
+	if !s.Degraded() {
+		t.Fatal("store under a regular file did not degrade at Open")
+	}
+	if err := s.Save(1, 0, []byte("x")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Save on degraded store = %v, want ErrDegraded", err)
+	}
+	// The read fails with ENOTDIR rather than ENOENT here; either way it is
+	// an error, never a served entry, and it counts as a miss.
+	if _, err := s.Load(1, 0); err == nil {
+		t.Fatal("Load on an uncreatable dir returned an entry")
+	}
+	st := s.Stats()
+	if !st.Degraded || st.Writes != 0 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want degraded with zero writes and one miss", st)
+	}
+	if s.Entries() != 0 {
+		t.Fatalf("Entries() = %d on an uncreatable dir, want 0", s.Entries())
+	}
+}
+
+// TestDropQuarantines covers the caller-driven quarantine path: an entry
+// whose payload passed the checksum but failed the caller's semantic
+// validation is moved aside exactly like a checksum failure, and a Drop of
+// a missing key is a no-op.
+func TestDropQuarantines(t *testing.T) {
+	s := openTest(t)
+	if err := s.Save(7, 1, []byte("checksum-valid but semantically wrong")); err != nil {
+		t.Fatal(err)
+	}
+	s.Drop(7, 1, errors.New("decoded topology does not match the key"))
+	if _, err := s.Load(7, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Load after Drop = %v, want ErrNotFound", err)
+	}
+	if got := s.Stats().Quarantined; got != 1 {
+		t.Fatalf("quarantined counter %d after Drop, want 1", got)
+	}
+	quarantined, err := filepath.Glob(filepath.Join(s.Dir(), "quarantine", "*"))
+	if err != nil || len(quarantined) != 1 {
+		t.Fatalf("quarantine dir holds %v (%v), want the dropped entry", quarantined, err)
+	}
+
+	s.Drop(999, 1, errors.New("never existed"))
+	if got := s.Stats().Quarantined; got != 1 {
+		t.Fatalf("Drop of a missing key quarantined something: counter %d", got)
+	}
+}

@@ -1,0 +1,120 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	if _, err := New([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+	if _, err := New([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	r, err := New([]string{"solo"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Owner(12345) != "solo" {
+		t.Fatal("single-member ring must own everything")
+	}
+}
+
+// TestDeterministicAcrossOrderings is the property the cluster depends on:
+// every replica, given the same member set in any order, must agree on the
+// owner of every key.
+func TestDeterministicAcrossOrderings(t *testing.T) {
+	a, err := New([]string{"http://h1:1", "http://h2:1", "http://h3:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]string{"http://h3:1", "http://h1:1", "http://h2:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		k := rng.Uint64()
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %x: %q vs %q under reordered membership", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestBalance requires the virtual points to spread random keys within a
+// reasonable factor of even: no replica above 1.4x or below 0.6x its share.
+func TestBalance(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	r, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	rng := rand.New(rand.NewSource(7))
+	const keys = 50000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(rng.Uint64())]++
+	}
+	mean := float64(keys) / float64(len(members))
+	for _, m := range members {
+		share := float64(counts[m]) / mean
+		if share < 0.6 || share > 1.4 {
+			t.Fatalf("member %q owns %.2fx its fair share (%d keys)", m, share, counts[m])
+		}
+	}
+}
+
+// TestConsistency removes one member and requires only the removed member's
+// keys to move: the defining property that makes failover cheap for the
+// survivors' caches.
+func TestConsistency(t *testing.T) {
+	full, err := New([]string{"a", "b", "c", "d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := New([]string{"a", "b", "d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	moved := 0
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		k := rng.Uint64()
+		before := full.Owner(k)
+		after := reduced.Owner(k)
+		if before == "c" {
+			continue // had to move
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving members; consistent hashing moves none", moved)
+	}
+}
+
+func TestMembersAndIndex(t *testing.T) {
+	r, err := New([]string{"b", "a", "c"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := r.Members()
+	if len(ms) != 3 || ms[0] != "a" || ms[1] != "b" || ms[2] != "c" {
+		t.Fatalf("Members() = %v, want canonical sorted order", ms)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len() = %d", r.Len())
+	}
+	for i := 0; i < 100; i++ {
+		k := uint64(i) * 0x9E3779B97F4A7C15
+		if ms[r.OwnerIndex(k)] != r.Owner(k) {
+			t.Fatalf("OwnerIndex and Owner disagree for key %x", k)
+		}
+	}
+}

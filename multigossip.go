@@ -239,8 +239,10 @@ func (nw *Network) Metrics() (NetworkMetrics, error) {
 // the vertex count and the exact edge set, independent of AddLink order.
 // Equal fingerprints identify networks whose plans are interchangeable,
 // which makes the fingerprint the cache key of PlanCache and the serving
-// layer. The value is cached and invalidated by AddLink; it is stable
-// within a process but not across releases — do not persist it.
+// layer. The value is cached and invalidated by AddLink. The disk store
+// persists fingerprints inside versioned entry files ("MGS1"); if the
+// hash ever changes, bump that format version so stale entries miss
+// cleanly instead of colliding.
 func (nw *Network) Fingerprint() uint64 {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
