@@ -148,6 +148,10 @@ func BenchmarkE27KPortSweep(b *testing.B) {
 	benchExperiment(b, (*expt.Suite).E27KPortSweep)
 }
 
+func BenchmarkE28MillionNodeSim(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E28MillionNodeSim)
+}
+
 // --- pipeline stage benchmarks ---
 
 // randomLabeledTree builds a labelled random tree of n vertices.

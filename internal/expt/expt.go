@@ -91,6 +91,7 @@ func (s *Suite) All() []*Table {
 		s.E25PipelineThroughput(),
 		s.E26Randomized(),
 		s.E27KPortSweep(),
+		s.E28MillionNodeSim(),
 	}
 }
 
@@ -107,7 +108,7 @@ func (s *Suite) AllParallel() []*Table {
 		s.E16Weighted, s.E17Online, s.E18Comparative, s.E19LineOptimal,
 		s.E20RootAblation, s.E21Fragility, s.E22FanoutSweep,
 		s.E23OptimalityGap, s.E24BarrierMakespan, s.E25PipelineThroughput,
-		s.E26Randomized, s.E27KPortSweep,
+		s.E26Randomized, s.E27KPortSweep, s.E28MillionNodeSim,
 	}
 	out := make([]*Table, len(runs))
 	var wg sync.WaitGroup

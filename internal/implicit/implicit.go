@@ -109,6 +109,44 @@ func int32s(xs []int) []int32 {
 	return out
 }
 
+// Topo is a read-only view of the plan's packed canonical-space arrays,
+// for engines (the sharded simulator) that evaluate the protocol directly
+// over the int32 layout without re-deriving it from pointerful spantree
+// structures. All slices alias the plan's storage: callers must not
+// mutate them. Hi[v] closes the subtree interval [v, Hi[v]]; Level[v] is
+// k; Parent[v] is -1 at the root; ChildStart/Children is the CSR child
+// list; Lip[v>>6]>>(v&63)&1 is the w bit; VertexOf/LabelOf translate
+// between canonical labels and original vertex ids.
+type Topo struct {
+	N      int
+	Height int
+
+	Hi         []int32
+	Level      []int32
+	Parent     []int32
+	ChildStart []int32
+	Children   []int32
+	Lip        []uint64
+	VertexOf   []int32
+	LabelOf    []int32
+}
+
+// Topo returns the packed-array view of the plan. O(1): no copying.
+func (p *Plan) Topo() Topo {
+	return Topo{
+		N:          p.n,
+		Height:     p.height,
+		Hi:         p.hi,
+		Level:      p.level,
+		Parent:     p.parent,
+		ChildStart: p.childStart,
+		Children:   p.children,
+		Lip:        p.lip,
+		VertexOf:   p.vertexOf,
+		LabelOf:    p.labelOf,
+	}
+}
+
 // N returns the number of processors (= messages).
 func (p *Plan) N() int { return p.n }
 

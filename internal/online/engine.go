@@ -38,6 +38,14 @@ type Protocol interface {
 // ensemble produced. It stops when every protocol reports Done, failing if
 // two messages target one processor in a round (a protocol bug) or if the
 // run exceeds maxRounds (<= 0 for the default 4(n + height) + 8).
+//
+// A livelocked ensemble — incomplete processors, nothing transmitted, and
+// nothing in flight — is reported as soon as it is provable rather than
+// being masked by the round cap. Protocols may legally sit out rounds
+// waiting for a scheduled transmission time (ConcurrentUpDown relocations
+// do), so quiescence must persist for height+2 consecutive rounds, longer
+// than any legal wait in the protocol family, before Run declares livelock
+// and names the stuck processors.
 func Run(l *spantree.Labeled, protocols []Protocol, maxRounds int) (*schedule.Schedule, error) {
 	t := l.T
 	n := l.N()
@@ -94,10 +102,12 @@ func Run(l *spantree.Labeled, protocols []Protocol, maxRounds int) (*schedule.Sc
 		fromParent bool
 	}
 	incoming := make([]*delivery, n)
+	doneV := make([]bool, n)
+	idle := 0 // consecutive rounds with no transmissions
 	var runErr error
 	for round := 0; ; round++ {
 		if round > maxRounds {
-			runErr = fmt.Errorf("online: exceeded %d rounds", maxRounds)
+			runErr = fmt.Errorf("online: exceeded %d rounds, stuck processors %s", maxRounds, stuckList(doneV))
 			break
 		}
 		for v := 0; v < n; v++ {
@@ -113,6 +123,7 @@ func Run(l *spantree.Labeled, protocols []Protocol, maxRounds int) (*schedule.Sc
 		next := make([]*delivery, n)
 		for c := 0; c < n; c++ {
 			r := <-replies
+			doneV[r.id] = r.done
 			if !r.done {
 				allDone = false
 			}
@@ -152,10 +163,38 @@ func Run(l *spantree.Labeled, protocols []Protocol, maxRounds int) (*schedule.Sc
 		if allDone && !anySend {
 			break
 		}
+		if anySend {
+			idle = 0
+		} else if idle++; idle > t.Height+1 {
+			runErr = fmt.Errorf("online: livelock at round %d: no transmissions for %d rounds and nothing in flight, stuck processors %s",
+				round, idle, stuckList(doneV))
+			break
+		}
 	}
 	stopAll()
 	if runErr != nil {
 		return nil, runErr
 	}
 	return s, nil
+}
+
+// stuckList formats the vertices whose protocols have not reported Done,
+// capped at eight so a mass livelock stays readable.
+func stuckList(doneV []bool) string {
+	var ids []int
+	extra := 0
+	for v, d := range doneV {
+		if d {
+			continue
+		}
+		if len(ids) < 8 {
+			ids = append(ids, v)
+		} else {
+			extra++
+		}
+	}
+	if extra > 0 {
+		return fmt.Sprintf("%v and %d more", ids, extra)
+	}
+	return fmt.Sprintf("%v", ids)
 }

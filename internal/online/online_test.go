@@ -2,6 +2,7 @@ package online
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"multigossip/internal/core"
@@ -140,16 +141,87 @@ func TestOnlineDetectsReceiveConflict(t *testing.T) {
 	}
 }
 
-// stallProto never finishes, to exercise the round cap.
+// stallProto is a deliberately broken Protocol: it never transmits and
+// never reports Done, so the ensemble can make no further progress.
 type stallProto struct{}
 
 func (stallProto) Deliver(int, int, bool) {}
 func (stallProto) Step(int) *Transmission { return nil }
 func (stallProto) Done() bool             { return false }
 
-func TestOnlineRoundCap(t *testing.T) {
+// TestOnlineLivelockFailFast is the regression test for the silent-cap
+// bug: a livelocked ensemble used to spin until the 4(n+height)+8 default
+// cap and report only "exceeded N rounds". Run must now detect the
+// quiescent-but-incomplete state within height+2 rounds and name the
+// stuck vertices in the diagnostic.
+func TestOnlineLivelockFailFast(t *testing.T) {
 	l := labeledFor(t, graph.Path(3))
-	if _, err := Run(l, []Protocol{stallProto{}, stallProto{}, stallProto{}}, 7); err == nil {
+	_, err := Run(l, []Protocol{stallProto{}, stallProto{}, stallProto{}}, 0)
+	if err == nil {
+		t.Fatal("livelocked ensemble not detected")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "livelock") {
+		t.Fatalf("want livelock diagnostic, got: %v", err)
+	}
+	if !strings.Contains(msg, "stuck processors [0 1 2]") {
+		t.Fatalf("diagnostic does not name the stuck vertices: %v", err)
+	}
+	// Fail fast means well before the default cap 4(n+height)+8 = 24:
+	// for this height-1 tree the grace window is 3 quiescent rounds.
+	if !strings.Contains(msg, "no transmissions for 3 rounds") {
+		t.Fatalf("livelock not detected within height+2 rounds: %v", err)
+	}
+}
+
+// TestOnlineLivelockTruncatesStuckList: a mass livelock (12 stuck
+// processors) keeps the diagnostic readable — eight named, the rest
+// counted.
+func TestOnlineLivelockTruncatesStuckList(t *testing.T) {
+	l := labeledFor(t, graph.Path(12))
+	protos := make([]Protocol, 12)
+	for v := range protos {
+		protos[v] = stallProto{}
+	}
+	_, err := Run(l, protos, 0)
+	if err == nil {
+		t.Fatal("livelocked ensemble not detected")
+	}
+	if !strings.Contains(err.Error(), "and 4 more") {
+		t.Fatalf("want a truncated stuck list naming 8 of 12, got: %v", err)
+	}
+}
+
+// spamProto transmits every round and never finishes, so only the round
+// cap can stop it (it is never quiescent, hence never a livelock).
+type spamProto struct {
+	id     int
+	parent int
+}
+
+func (s *spamProto) Deliver(int, int, bool) {}
+func (s *spamProto) Step(t int) *Transmission {
+	if s.parent < 0 {
+		return nil
+	}
+	return &Transmission{Msg: s.id, ToParent: true}
+}
+func (s *spamProto) Done() bool { return false }
+
+func TestOnlineRoundCap(t *testing.T) {
+	l := labeledFor(t, graph.Path(2))
+	protos := make([]Protocol, l.N())
+	for v := range protos {
+		protos[v] = &spamProto{id: v, parent: l.T.Parent[v]}
+	}
+	_, err := Run(l, protos, 7)
+	if err == nil {
 		t.Fatal("round cap not enforced")
+	}
+	if !strings.Contains(err.Error(), "exceeded 7 rounds") {
+		t.Fatalf("want round-cap diagnostic, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "stuck processors") {
+		t.Fatalf("cap diagnostic does not name the stuck vertices: %v", err)
 	}
 }

@@ -1,0 +1,99 @@
+package sim
+
+// Latency assigns each tree link an integer delay in ticks. The sync
+// engine ignores it (every hop takes exactly one round, the paper's
+// model); the async engine charges Link(parent, child) ticks to every
+// delivery crossing that edge, in either direction. Implementations must
+// be pure functions of their arguments — the engine may query a link any
+// number of times and expects the same answer — and must return values in
+// [1, Max()].
+type Latency interface {
+	// Link returns the delay in ticks of the tree edge {parent, child},
+	// identified by canonical labels.
+	Link(parent, child int32) int32
+	// Max returns the largest delay Link can return. The async engine
+	// sizes its calendar wheel from it.
+	Max() int32
+}
+
+// Deterministic returns the constant-delay model: every link takes d
+// ticks (d < 1 is clamped to 1). Deterministic(1) makes the async engine
+// a lockstep-free re-timing of the synchronous protocol.
+func Deterministic(d int) Latency {
+	if d < 1 {
+		d = 1
+	}
+	return constLatency(d)
+}
+
+type constLatency int32
+
+func (c constLatency) Link(parent, child int32) int32 { return int32(c) }
+func (c constLatency) Max() int32                     { return int32(c) }
+
+// splitmix64 is the SplitMix64 output function: a bijective avalanche mix
+// used to derive an i.i.d.-quality stream from (seed, edge) without
+// storing per-link state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// edgeHash folds a seed and a directed-normalised edge into one 64-bit
+// draw. parent/child are canonical labels, so (parent, child) already
+// names the edge uniquely.
+func edgeHash(seed uint64, parent, child int32) uint64 {
+	return splitmix64(seed ^ splitmix64(uint64(uint32(parent))<<32|uint64(uint32(child))))
+}
+
+// Uniform returns the uniform-delay model: each link's delay is drawn
+// uniformly from [1, max] by hashing (seed, edge) through splitmix64.
+// Deterministic per (seed, edge); different seeds give independent draws.
+func Uniform(max int, seed uint64) Latency {
+	if max < 1 {
+		max = 1
+	}
+	return &uniformLatency{max: int32(max), seed: seed}
+}
+
+type uniformLatency struct {
+	max  int32
+	seed uint64
+}
+
+func (u *uniformLatency) Link(parent, child int32) int32 {
+	return 1 + int32(edgeHash(u.seed, parent, child)%uint64(u.max))
+}
+func (u *uniformLatency) Max() int32 { return u.max }
+
+// HeavyTail returns a bounded-Pareto delay model (shape 1): most links
+// cost 1 tick but a heavy tail stretches toward max, the classic shape of
+// a straggler link in a large fleet. Deterministic per (seed, edge).
+func HeavyTail(max int, seed uint64) Latency {
+	if max < 1 {
+		max = 1
+	}
+	return &heavyTailLatency{max: int32(max), seed: seed}
+}
+
+type heavyTailLatency struct {
+	max  int32
+	seed uint64
+}
+
+func (h *heavyTailLatency) Link(parent, child int32) int32 {
+	// Inverse-CDF sampling of a Pareto(α=1) truncated to [1, max]:
+	// P(L > x) ∝ 1/x. u in [0, 1) from the top 53 bits of the hash.
+	u := float64(edgeHash(h.seed, parent, child)>>11) / (1 << 53)
+	l := int32(1.0 / (1.0 - u*(1.0-1.0/float64(h.max))))
+	if l < 1 {
+		l = 1
+	}
+	if l > h.max {
+		l = h.max
+	}
+	return l
+}
+func (h *heavyTailLatency) Max() int32 { return h.max }

@@ -1,0 +1,118 @@
+package multigossip
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSimulateMatchesPlan checks the public simulation entry point against
+// the plan's own closed forms: the live distributed execution must finish
+// at exactly n + r with n(n-1) deliveries.
+func TestSimulateMatchesPlan(t *testing.T) {
+	for _, nw := range []*Network{Line(9), Star(12), Ring(10), Mesh(4, 4)} {
+		plan, err := nw.PlanGossip()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := plan.Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := nw.Processors()
+		if rep.CompleteAt != plan.Rounds() {
+			t.Fatalf("n=%d: simulated completion %d, plan says %d", n, rep.CompleteAt, plan.Rounds())
+		}
+		if rep.Deliveries != int64(n)*int64(n-1) {
+			t.Fatalf("n=%d: %d deliveries, want %d", n, rep.Deliveries, n*(n-1))
+		}
+		if rep.Transmissions <= 0 || rep.Events < rep.Transmissions {
+			t.Fatalf("n=%d: implausible counters %+v", n, rep)
+		}
+	}
+}
+
+// TestSimulateObserver wires the existing observability surface into the
+// simulator: metrics and the trace timeline must see the run unchanged.
+func TestSimulateObserver(t *testing.T) {
+	plan, err := Star(10).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics()
+	tr := NewTracer()
+	rep, err := plan.Simulate(WithSimObserver(MultiObserver(InstrumentMetrics(m), tr)), WithSimShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FoldedDeliveries != 0 {
+		t.Fatalf("folding must be disabled under an observer, got %d folded", rep.FoldedDeliveries)
+	}
+	snap := m.Snapshot()
+	if got := snap.Counters["gossip_delivered_total"]; got != rep.Deliveries {
+		t.Fatalf("metrics saw %d deliveries, report says %d", got, rep.Deliveries)
+	}
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "simulate") {
+		t.Fatal("trace timeline missing the simulate phase span")
+	}
+}
+
+// TestSimulateAsync runs the async engine through the public API under
+// each latency constructor and checks the multiset-level invariants.
+func TestSimulateAsync(t *testing.T) {
+	plan, err := Mesh(5, 5).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 25
+	for _, lat := range []LinkLatency{nil, DeterministicLatency(2), UniformLatency(4, 7), HeavyTailLatency(8, 7)} {
+		rep, err := plan.Simulate(WithSimAsync(lat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Async {
+			t.Fatal("report not flagged async")
+		}
+		if rep.Deliveries != int64(n)*int64(n-1) {
+			t.Fatalf("%d deliveries, want %d", rep.Deliveries, n*(n-1))
+		}
+		maxLat := 1
+		if lat != nil {
+			maxLat = int(lat.Max())
+		}
+		bound := n + 2*plan.Radius() + maxLat*plan.Radius()
+		if lat != nil && lat.Max() == 2 { // all-links-slow deterministic model
+			bound = n + 2*plan.Radius() + 2*maxLat*plan.Radius()
+		}
+		if rep.CompleteAt > bound {
+			t.Fatalf("async completed at %d > bound %d", rep.CompleteAt, bound)
+		}
+	}
+}
+
+// TestSimulateRequiresCUD: Simple plans have no per-node closed-form
+// program to simulate.
+func TestSimulateRequiresCUD(t *testing.T) {
+	plan, err := Line(6).PlanGossip(WithAlgorithm(Simple))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Simulate(); err == nil {
+		t.Fatal("Simulate accepted a Simple plan")
+	}
+}
+
+// TestSimulateMaxRounds: an impossible cap must surface as an error, not
+// a silent partial result.
+func TestSimulateMaxRounds(t *testing.T) {
+	plan, err := Line(12).PlanGossip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Simulate(WithSimMaxRounds(3)); err == nil {
+		t.Fatal("cap of 3 rounds accepted for a 12-node line")
+	}
+}
