@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race cover bench-smoke fault-smoke fuzz-smoke serve-smoke plan-smoke churn-smoke store-smoke sim-smoke bench sweep-record fault-record obs-record serve-record plan-record churn-record store-record sim-record experiments
+.PHONY: check vet staticcheck build test race cover bench-smoke fault-smoke fuzz-smoke serve-smoke plan-smoke churn-smoke store-smoke sim-smoke matrix-smoke bench sweep-record fault-record obs-record serve-record plan-record churn-record store-record sim-record matrix-record experiments
 
-check: vet staticcheck build race cover bench-smoke fault-smoke fuzz-smoke serve-smoke plan-smoke churn-smoke store-smoke sim-smoke
+check: vet staticcheck build race cover bench-smoke fault-smoke fuzz-smoke serve-smoke plan-smoke churn-smoke store-smoke sim-smoke matrix-smoke
 
 vet:
 	$(GO) vet ./...
@@ -132,6 +132,13 @@ plan-smoke:
 sim-smoke:
 	$(GO) run ./cmd/simbench -smoke
 
+# Portfolio gate: every registered algorithm × {ring, grid, random} ×
+# {fault-free, 10% link loss} at small sizes, each cell asserted against
+# the algorithm's registered rounds bound (fault-free cells re-verify
+# under the model; lossy cells must heal to completion).
+matrix-smoke:
+	$(GO) run ./cmd/matrixbench -smoke
+
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
@@ -199,6 +206,12 @@ churn-record:
 # event-driven runs under a uniform latency model.
 sim-record:
 	$(GO) run ./cmd/simbench -out BENCH_sim.json
+
+# Regenerate the BENCH_matrix.json scenario-matrix record: the full
+# portfolio (6 algorithms) × ring/grid/random × fault-free/lossy at
+# n in {16, 36, 64}, every cell asserted within its registered bound.
+matrix-record:
+	$(GO) run ./cmd/matrixbench -out BENCH_matrix.json
 
 experiments:
 	$(GO) run ./cmd/experiments

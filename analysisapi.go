@@ -111,6 +111,9 @@ func (nw *Network) MetricSweepStats() SweepStats {
 // their redundant deliveries. O(deliveries²); intended for small and
 // medium networks.
 func (p *Plan) Criticality() (critical, deliveries int, err error) {
+	if !p.Schedulable() {
+		return 0, 0, p.errNoSchedule()
+	}
 	rep, err := fault.Criticality(p.network, p.schedule())
 	if err != nil {
 		return 0, 0, err
@@ -123,6 +126,9 @@ func (p *Plan) Criticality() (critical, deliveries int, err error) {
 // probability loss, with full fault propagation (a processor that never
 // received a message silently skips relaying it).
 func (p *Plan) CoverageUnderLoss(loss float64, trials int, seed int64) (float64, error) {
+	if !p.Schedulable() {
+		return 0, p.errNoSchedule()
+	}
 	return fault.RandomLoss(p.network, p.schedule(), loss, trials, rand.New(rand.NewSource(seed)))
 }
 
@@ -132,6 +138,9 @@ func (p *Plan) CoverageUnderLoss(loss float64, trials int, seed int64) (float64,
 // are averaged. Round counts are what the paper optimises; this converts
 // them to wall-clock under a simple latency model.
 func (p *Plan) EstimateMakespan(base, jitter, barrier float64, trials int, seed int64) (float64, error) {
+	if !p.Schedulable() {
+		return 0, p.errNoSchedule()
+	}
 	res, err := async.Makespan(p.schedule(), async.UniformJitter{Base: base, Jitter: jitter},
 		barrier, trials, rand.New(rand.NewSource(seed)))
 	if err != nil {
@@ -145,6 +154,9 @@ func (p *Plan) EstimateMakespan(base, jitter, barrier float64, trials int, seed 
 // repeated gossiping. It always lies between n-1 (receive capacity) and
 // the plan's latency.
 func (p *Plan) MinRepeatPeriod() (int, error) {
+	if !p.Schedulable() {
+		return 0, p.errNoSchedule()
+	}
 	s := p.schedule()
 	period, err := pipeline.MinPeriod(p.network, s, 3, s.Time()+1)
 	if err != nil {

@@ -152,6 +152,10 @@ func BenchmarkE28MillionNodeSim(b *testing.B) {
 	benchExperiment(b, (*expt.Suite).E28MillionNodeSim)
 }
 
+func BenchmarkE29Portfolio(b *testing.B) {
+	benchExperiment(b, (*expt.Suite).E29Portfolio)
+}
+
 // --- pipeline stage benchmarks ---
 
 // randomLabeledTree builds a labelled random tree of n vertices.

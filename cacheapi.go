@@ -1,6 +1,7 @@
 package multigossip
 
 import (
+	"multigossip/internal/algo"
 	"multigossip/internal/obs"
 	"multigossip/internal/plancache"
 )
@@ -82,6 +83,11 @@ func WithCacheStore(ps *PlanStore) CacheOption {
 // immutable.
 type PlanCache struct {
 	c *plancache.Cache[*Plan]
+	// w caches weighted plans under (fingerprint ⊕ counts-hash, Weighted).
+	// A separate generic instance because the value type differs; it shares
+	// the entry/byte budget shape but registers no metrics of its own (the
+	// plancache_* names belong to c).
+	w *plancache.Cache[*WeightedPlan]
 }
 
 // NewPlanCache returns an empty plan cache (512 plans / 512 MiB estimated
@@ -95,7 +101,10 @@ func NewPlanCache(opts ...CacheOption) *PlanCache {
 	if cfg.store != nil {
 		c.AttachTier2(cfg.store)
 	}
-	return &PlanCache{c: c}
+	return &PlanCache{
+		c: c,
+		w: plancache.New[*WeightedPlan](cfg.entries, cfg.bytes, nil),
+	}
 }
 
 // Plan returns a gossip plan for the network, reusing a cached plan for any
@@ -116,7 +125,7 @@ func (pc *PlanCache) PlanSourced(nw *Network, opts ...PlanOption) (*Plan, CacheS
 	for _, o := range opts {
 		o(&cfg)
 	}
-	key := plancache.Key{Fingerprint: nw.Fingerprint(), Algo: int(cfg.algo)}
+	key := cacheKey(nw.Fingerprint(), cfg)
 	return pc.c.Get(key, func() (*Plan, int64, error) {
 		p, err := nw.snapshot().PlanGossip(opts...)
 		if err != nil {
@@ -150,7 +159,54 @@ func (pc *PlanCache) Contains(nw *Network, opts ...PlanOption) bool {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return pc.c.Peek(plancache.Key{Fingerprint: nw.Fingerprint(), Algo: int(cfg.algo)})
+	return pc.c.Peek(cacheKey(nw.Fingerprint(), cfg))
+}
+
+// cacheKey derives the plancache key for a plan request: the registry
+// algorithm value plus the topology fingerprint, with the seed mixed into
+// the fingerprint half for non-deterministic algorithms — two seeds of one
+// topology are distinct plans and must not collide.
+func cacheKey(fp uint64, cfg planConfig) plancache.Key {
+	if algo.Registered(cfg.algo) && !algo.ByID(cfg.algo).Deterministic {
+		fp ^= mixSeed(uint64(cfg.seed) ^ 0x5eed)
+	}
+	return plancache.Key{Fingerprint: fp, Algo: int(cfg.algo)}
+}
+
+// mixSeed finalises a seed into cache-key bits (splitmix64 finaliser).
+func mixSeed(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// WeightedPlanSourced returns a weighted gossip plan for the network and
+// counts, reusing a cached plan for any (topology, counts) pair already
+// built. Weighted plans cache in their own tier keyed by the topology
+// fingerprint mixed with a counts hash, under the registry's Weighted
+// value; concurrent misses for one key construct once, and errors are
+// returned to every waiting caller without being cached.
+func (pc *PlanCache) WeightedPlanSourced(nw *Network, counts []int) (*WeightedPlan, CacheSource, error) {
+	fp := nw.Fingerprint()
+	h := mixSeed(uint64(len(counts)) ^ 0xc0a475)
+	for _, c := range counts {
+		h = mixSeed(h ^ uint64(c))
+	}
+	key := plancache.Key{Fingerprint: fp ^ h, Algo: int(Weighted)}
+	return pc.w.Get(key, func() (*WeightedPlan, int64, error) {
+		p, err := nw.PlanWeightedGossip(counts)
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.SizeBytes(), nil
+	})
+}
+
+// WeightedPlan is WeightedPlanSourced without the cache outcome.
+func (pc *PlanCache) WeightedPlan(nw *Network, counts []int) (*WeightedPlan, error) {
+	p, _, err := pc.WeightedPlanSourced(nw, counts)
+	return p, err
 }
 
 // Stats snapshots the cache counters.
@@ -176,6 +232,9 @@ func (p *Plan) SizeBytes() int64 {
 	b += int64(p.network.M()) * 2 * word // adjacency lists (both directions)
 	if p.imp != nil {
 		return b + p.imp.SizeBytes()
+	}
+	if p.sched == nil {
+		return b + 8*word // Algebraic: the realized Result and seed only
 	}
 	s := p.sched
 	b += int64(len(s.Rounds)) * 3 * word // round slice headers

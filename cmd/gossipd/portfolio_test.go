@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"multigossip"
+)
+
+// TestPlanEveryRegisteredAlgorithm requires the server to serve a plan for
+// every name the library's registry exports — the wire surface must grow
+// with the portfolio automatically, with no per-algorithm server code.
+func TestPlanEveryRegisteredAlgorithm(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	for _, name := range multigossip.AlgorithmNames() {
+		status, body := post(t, ts.URL, "/plan", map[string]any{
+			"topology": "ring", "n": 12, "algorithm": name,
+		})
+		if status != http.StatusOK {
+			t.Fatalf("algorithm %q: status %d: %s", name, status, body)
+		}
+		var resp planResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatalf("algorithm %q: %v", name, err)
+		}
+		if resp.Rounds <= 0 {
+			t.Fatalf("algorithm %q: rounds %d, want > 0", name, resp.Rounds)
+		}
+		a, err := multigossip.ParseAlgorithm(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := resp.Algorithm, a.String(); got != want {
+			t.Fatalf("algorithm %q: response names %q, want %q", name, got, want)
+		}
+	}
+}
+
+// TestPlanUnknownAlgorithmListsNames requires the 400 for an unknown
+// algorithm to enumerate every accepted name, derived from the registry.
+// (An earlier server hardcoded "want cud or simple" and kept saying it
+// after the portfolio grew past those two.)
+func TestPlanUnknownAlgorithmListsNames(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	status, body := post(t, ts.URL, "/plan", map[string]any{
+		"topology": "ring", "n": 8, "algorithm": "quantum",
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", status, body)
+	}
+	msg := string(body)
+	for _, name := range multigossip.AlgorithmNames() {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("400 body %q does not list registered name %q", msg, name)
+		}
+	}
+	if strings.Contains(msg, "want cud or simple") {
+		t.Fatalf("400 body %q still carries the hardcoded two-algorithm hint", msg)
+	}
+}
+
+// TestPlanAlgebraicHasNoEnumerableRounds: coded-packet plans report a round
+// count but have no transmission schedule, so asking for rounds is a 400
+// while the plain plan succeeds.
+func TestPlanAlgebraicHasNoEnumerableRounds(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	status, body := post(t, ts.URL, "/plan", map[string]any{
+		"topology": "ring", "n": 10, "algorithm": "algebraic",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("plain plan: status %d: %s", status, body)
+	}
+	for _, req := range []map[string]any{
+		{"topology": "ring", "n": 10, "algorithm": "algebraic", "include_rounds": true},
+		{"topology": "ring", "n": 10, "algorithm": "algebraic", "rounds_from": 0, "rounds_count": 2},
+	} {
+		status, body := post(t, ts.URL, "/plan", req)
+		if status != http.StatusBadRequest {
+			t.Fatalf("rounds request %v: status %d, want 400: %s", req, status, body)
+		}
+	}
+}
+
+// TestPlanAlgoSeedKeysCache: repeating a seed hits the cache, changing it
+// misses — randomized plans for distinct seeds are distinct cache entries.
+func TestPlanAlgoSeedKeysCache(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	want := []struct {
+		seed   int64
+		source string
+	}{{1, "miss"}, {1, "hit"}, {2, "miss"}}
+	for _, step := range want {
+		status, body := post(t, ts.URL, "/plan", map[string]any{
+			"topology": "ring", "n": 10, "algorithm": "algebraic", "algo_seed": step.seed,
+		})
+		if status != http.StatusOK {
+			t.Fatalf("seed %d: status %d: %s", step.seed, status, body)
+		}
+		var resp planResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Source != step.source {
+			t.Fatalf("seed %d: source %q, want %q", step.seed, resp.Source, step.source)
+		}
+	}
+}

@@ -375,14 +375,18 @@ func checkEdge(u, v, n int) error {
 	return nil
 }
 
+// parseAlgorithm resolves the request's algorithm field against the
+// library's registry, so the accepted names — and the hint in the 400 for
+// unknown ones — grow with the portfolio instead of being hardcoded here.
+// (An earlier version listed "cud or simple" inline and silently rejected
+// every later algorithm.)
 func parseAlgorithm(name string) (multigossip.Algorithm, error) {
-	switch strings.ToLower(name) {
-	case "", "cud", "concurrentupdown":
-		return multigossip.ConcurrentUpDown, nil
-	case "simple":
-		return multigossip.Simple, nil
+	a, err := multigossip.ParseAlgorithm(name)
+	if err != nil {
+		return 0, fmt.Errorf("unknown algorithm %q (want one of %s)",
+			name, strings.Join(multigossip.AlgorithmNames(), ", "))
 	}
-	return 0, fmt.Errorf("unknown algorithm %q (want cud or simple)", name)
+	return a, nil
 }
 
 // planRequest asks for a schedule. include_rounds returns the full
@@ -392,10 +396,14 @@ func parseAlgorithm(name string) (multigossip.Algorithm, error) {
 // clients can page through a huge plan round by round.
 type planRequest struct {
 	topologySpec
-	Algorithm     string `json:"algorithm"`
-	IncludeRounds bool   `json:"include_rounds"`
-	RoundsFrom    int    `json:"rounds_from"`
-	RoundsCount   int    `json:"rounds_count"`
+	Algorithm string `json:"algorithm"`
+	// AlgoSeed seeds randomized algorithms (algebraic); deterministic ones
+	// ignore it. Distinct from topologySpec.Seed, which seeds random
+	// topology generation.
+	AlgoSeed      int64 `json:"algo_seed"`
+	IncludeRounds bool  `json:"include_rounds"`
+	RoundsFrom    int   `json:"rounds_from"`
+	RoundsCount   int   `json:"rounds_count"`
 }
 
 // roundJSON is one transmission of an included schedule.
@@ -436,7 +444,8 @@ func (s *server) planFor(req planRequest) (*multigossip.Plan, planResponse, int,
 		return nil, planResponse{}, http.StatusBadRequest, err
 	}
 	begin := time.Now()
-	plan, source, err := s.cache.PlanSourced(nw, multigossip.WithAlgorithm(algo))
+	plan, source, err := s.cache.PlanSourced(nw,
+		multigossip.WithAlgorithm(algo), multigossip.WithSeed(req.AlgoSeed))
 	if err != nil {
 		if errors.Is(err, multigossip.ErrDisconnected) {
 			return nil, planResponse{}, http.StatusUnprocessableEntity, err
@@ -464,6 +473,10 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) (int, error)
 	plan, resp, status, err := s.planFor(req)
 	if err != nil {
 		return status, err
+	}
+	if (req.IncludeRounds || req.RoundsCount > 0 || req.RoundsFrom != 0) && !plan.Schedulable() {
+		return http.StatusBadRequest,
+			fmt.Errorf("algorithm %s has no transmission schedule to include (coded packets; rounds are reported, not enumerable)", resp.Algorithm)
 	}
 	switch {
 	case req.RoundsCount > 0 || req.RoundsFrom != 0:

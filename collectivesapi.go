@@ -106,7 +106,12 @@ func (p *MulticastPlan) Verify() error { return mmc.Verify(p.inst, p.sched) }
 
 // MarshalJSON exports the gossip plan's schedule in the library's stable
 // JSON shape (versioned flat transmission list), for external tooling.
-func (p *Plan) MarshalJSON() ([]byte, error) { return json.Marshal(p.schedule()) }
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	if !p.Schedulable() {
+		return nil, p.errNoSchedule()
+	}
+	return json.Marshal(p.schedule())
+}
 
 // ScheduleJSON renders the plan's schedule as JSON text.
 func (p *Plan) ScheduleJSON() (string, error) {

@@ -251,6 +251,9 @@ func WithRepairBudget(iters int) FaultOption {
 // under any fault (see Plan.Criticality); this is the closed-loop
 // counterpart that wins it back.
 func (p *Plan) ExecuteWithFaults(opts ...FaultOption) (FaultReport, error) {
+	if !p.Schedulable() {
+		return FaultReport{}, p.errNoSchedule()
+	}
 	cfg := faultConfig{repair: true}
 	for _, o := range opts {
 		o(&cfg)

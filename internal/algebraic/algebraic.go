@@ -1,0 +1,259 @@
+// Package algebraic implements randomized network-coded gossip over GF(2)
+// — the algebraic gossip of Haeupler ("Tighter Worst-Case Bounds on
+// Algebraic Gossip") adapted to the paper's multicasting model, as the
+// portfolio's randomized baseline.
+//
+// Every processor starts with its own message, identified with the unit
+// coefficient vector e_v. In every round each processor multicasts one
+// coded packet — a uniformly random non-zero GF(2) combination of the
+// coefficient vectors spanning its received subspace — to all of its
+// neighbours. The model's receive-at-most-one rule becomes the contention
+// rule: a processor offered several packets in one round accepts exactly
+// one, chosen uniformly at random, and the rest are lost. Gossip completes
+// when every processor's subspace has full rank n (at which point it can
+// decode every message).
+//
+// Unlike the deterministic planners there is no schedule: the exchanged
+// packets are linear combinations that no single Transmission can express,
+// and the round count is a random variable. Runs are seeded and exactly
+// reproducible; ExpectedRounds estimates the mean over independent trials,
+// which is what the scenario matrix reports against Haeupler's O(n + D)
+// guarantee.
+package algebraic
+
+import (
+	"fmt"
+
+	"multigossip/internal/graph"
+)
+
+// Options configures one seeded run.
+type Options struct {
+	// Seed derives every random choice; equal seeds replay identically.
+	Seed int64
+	// LossRate drops each arriving packet independently with this
+	// probability before contention resolution — the Bernoulli lossy-link
+	// model the deterministic planners face through ExecuteWithFaults.
+	// Randomized coded gossip needs no repair engine: it simply keeps
+	// sending, which is the property the fault cells of the matrix record.
+	LossRate float64
+	// MaxRounds aborts a run that has not completed (<= 0: 64n + 64).
+	MaxRounds int
+}
+
+// Result summarises one run.
+type Result struct {
+	Rounds     int // rounds until every processor reached full rank
+	Deliveries int // packets accepted by receivers
+	Innovative int // accepted packets that grew the receiver's subspace
+	Collisions int // packets lost to the receive-at-most-one rule
+	Lost       int // packets dropped by the loss model
+}
+
+// splitmix64 is the keyed hash behind every random decision; the same
+// generator the fault and simulation layers use for determinism.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rng is a tiny splitmix64 stream.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// basis is one processor's received subspace in row-echelon form over
+// GF(2): row[p] is nil or a vector whose lowest set bit is p.
+type basis struct {
+	rows  [][]uint64
+	rank  int
+	words int
+}
+
+func newBasis(n int) *basis {
+	return &basis{rows: make([][]uint64, n), words: (n + 63) / 64}
+}
+
+// insert reduces vec against the basis and adopts it if innovative,
+// reporting whether the rank grew. vec is consumed.
+func (b *basis) insert(vec []uint64) bool {
+	for {
+		p := firstBit(vec)
+		if p < 0 {
+			return false // reduced to zero: dependent
+		}
+		if b.rows[p] == nil {
+			b.rows[p] = vec
+			b.rank++
+			return true
+		}
+		xorInto(vec, b.rows[p])
+	}
+}
+
+// combine writes a uniformly random non-zero vector of the basis's
+// rowspace into dst. At least one row exists (every processor holds its
+// own message).
+func (b *basis) combine(dst []uint64, r *rng) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for {
+		any := false
+		for _, row := range b.rows {
+			if row == nil {
+				continue
+			}
+			if r.next()&1 == 1 {
+				xorInto(dst, row)
+				any = true
+			}
+		}
+		if any && firstBit(dst) >= 0 {
+			return
+		}
+		// All-coins-tails or a cancelling draw: redraw (probability <= 1/2
+		// per attempt, so this terminates quickly).
+	}
+}
+
+func firstBit(v []uint64) int {
+	for i, w := range v {
+		if w != 0 {
+			for b := 0; b < 64; b++ {
+				if w&(1<<uint(b)) != 0 {
+					return i*64 + b
+				}
+			}
+		}
+	}
+	return -1
+}
+
+func xorInto(dst, src []uint64) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// Run simulates one seeded algebraic gossip execution on connected g.
+func Run(g *graph.Graph, opt Options) (Result, error) {
+	n := g.N()
+	if n == 0 {
+		return Result{}, fmt.Errorf("algebraic: empty network")
+	}
+	if opt.LossRate < 0 || opt.LossRate > 1 {
+		return Result{}, fmt.Errorf("algebraic: loss rate %v out of [0,1]", opt.LossRate)
+	}
+	if !g.IsConnected() {
+		return Result{}, graph.ErrDisconnected
+	}
+	maxRounds := opt.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 64*n + 64
+	}
+	return run(g, opt, maxRounds)
+}
+
+func run(g *graph.Graph, opt Options, maxRounds int) (Result, error) {
+	n := g.N()
+	words := (n + 63) / 64
+	r := &rng{state: splitmix64(uint64(opt.Seed)*0x9e3779b97f4a7c15 + 0xc0ded)}
+	nodes := make([]*basis, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = newBasis(n)
+		e := make([]uint64, words)
+		e[v/64] |= 1 << uint(v%64)
+		nodes[v].insert(e)
+	}
+	full := 0
+	if n == 1 {
+		return Result{}, nil
+	}
+
+	res := Result{}
+	packets := make([][]uint64, n) // the packet each processor multicasts this round
+	incoming := make([][]int, n)   // senders offering a packet to each processor
+	for v := range packets {
+		packets[v] = make([]uint64, words)
+	}
+	for t := 0; ; t++ {
+		if t >= maxRounds {
+			return res, fmt.Errorf("algebraic: no completion after %d rounds (seed %d, loss %v)", maxRounds, opt.Seed, opt.LossRate)
+		}
+		// Transmit: every processor codes one packet and multicasts it to
+		// its whole neighbourhood.
+		for v := 0; v < n; v++ {
+			nodes[v].combine(packets[v], r)
+		}
+		for v := 0; v < n; v++ {
+			incoming[v] = incoming[v][:0]
+		}
+		for v := 0; v < n; v++ {
+			for _, u := range g.Neighbors(v) {
+				if opt.LossRate > 0 && r.float64() < opt.LossRate {
+					res.Lost++
+					continue
+				}
+				incoming[u] = append(incoming[u], v)
+			}
+		}
+		// Receive: at most one accepted packet per processor per round.
+		for v := 0; v < n; v++ {
+			offers := incoming[v]
+			if len(offers) == 0 {
+				continue
+			}
+			pick := offers[r.intn(len(offers))]
+			res.Collisions += len(offers) - 1
+			res.Deliveries++
+			vec := make([]uint64, words)
+			copy(vec, packets[pick])
+			had := nodes[v].rank
+			if nodes[v].insert(vec) {
+				res.Innovative++
+				if had+1 == n {
+					full++
+				}
+			}
+		}
+		if full == n {
+			res.Rounds = t + 1
+			return res, nil
+		}
+	}
+}
+
+// ExpectedRounds runs `trials` independent seeded executions (seeds
+// opt.Seed, opt.Seed+1, ...) and returns the mean completion round — the
+// expected-rounds figure the matrix reports for the randomized baseline.
+func ExpectedRounds(g *graph.Graph, opt Options, trials int) (float64, error) {
+	if trials < 1 {
+		return 0, fmt.Errorf("algebraic: trials %d < 1", trials)
+	}
+	sum := 0
+	for i := 0; i < trials; i++ {
+		o := opt
+		o.Seed = opt.Seed + int64(i)
+		res, err := Run(g, o)
+		if err != nil {
+			return 0, err
+		}
+		sum += res.Rounds
+	}
+	return float64(sum) / float64(trials), nil
+}

@@ -1,0 +1,136 @@
+package algebraic
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"multigossip/internal/algo"
+	"multigossip/internal/graph"
+)
+
+func TestRunCompletesWithinBound(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"path16":   graph.Path(16),
+		"cycle17":  graph.Cycle(17),
+		"grid5x5":  graph.Grid(5, 5),
+		"star12":   graph.Star(12),
+		"complete": graph.Complete(9),
+	}
+	for name, g := range cases {
+		t.Run(name, func(t *testing.T) {
+			bound := algo.ByID(algo.Algebraic).Bound(algo.BoundParams{
+				N: g.N(), Diameter: g.Diameter(),
+			})
+			for seed := int64(0); seed < 5; seed++ {
+				res, err := Run(g, Options{Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if res.Rounds <= 0 || res.Rounds > bound {
+					t.Fatalf("seed %d: %d rounds outside (0, %d]", seed, res.Rounds, bound)
+				}
+				if res.Innovative < g.N()*(g.N()-1) {
+					t.Fatalf("seed %d: only %d innovative receptions for %d needed",
+						seed, res.Innovative, g.N()*(g.N()-1))
+				}
+			}
+		})
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	g := graph.Grid(4, 5)
+	a, err := Run(g, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c, err := Run(g, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical results (suspicious rng)")
+	}
+}
+
+func TestRunUnderLoss(t *testing.T) {
+	g := graph.Cycle(20)
+	res, err := Run(g, Options{Seed: 3, LossRate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost == 0 {
+		t.Fatal("20% loss over hundreds of packets lost nothing")
+	}
+	lossless, err := Run(g, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < lossless.Rounds {
+		t.Logf("note: lossy run finished faster (%d < %d) — possible but rare", res.Rounds, lossless.Rounds)
+	}
+}
+
+func TestRunTrivialAndErrors(t *testing.T) {
+	if res, err := Run(graph.Path(1), Options{}); err != nil || res.Rounds != 0 {
+		t.Fatalf("singleton: (%+v, %v)", res, err)
+	}
+	if _, err := Run(graph.New(0), Options{}); err == nil {
+		t.Fatal("empty network accepted")
+	}
+	if _, err := Run(graph.Path(4), Options{LossRate: 1.5}); err == nil {
+		t.Fatal("loss rate 1.5 accepted")
+	}
+	disc := graph.New(4)
+	disc.AddEdge(0, 1)
+	if _, err := Run(disc, Options{}); !errors.Is(err, graph.ErrDisconnected) {
+		t.Fatalf("disconnected network: %v", err)
+	}
+	// Total loss can never complete; the MaxRounds guard must fire.
+	if _, err := Run(graph.Path(4), Options{LossRate: 1, MaxRounds: 10}); err == nil {
+		t.Fatal("loss rate 1 completed")
+	}
+}
+
+func TestExpectedRounds(t *testing.T) {
+	g := graph.RandomTree(rand.New(rand.NewSource(5)), 24)
+	mean, err := ExpectedRounds(g, Options{Seed: 100}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := algo.ByID(algo.Algebraic).Bound(algo.BoundParams{N: g.N(), Diameter: g.Diameter()})
+	if mean <= 0 || mean > float64(bound) {
+		t.Fatalf("mean %v outside (0, %d]", mean, bound)
+	}
+	if _, err := ExpectedRounds(g, Options{}, 0); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestBasisRankGrowth(t *testing.T) {
+	b := newBasis(130) // force multi-word vectors
+	words := (130 + 63) / 64
+	for i := 0; i < 130; i++ {
+		e := make([]uint64, words)
+		e[i/64] |= 1 << uint(i%64)
+		if !b.insert(e) {
+			t.Fatalf("unit vector %d rejected as dependent", i)
+		}
+	}
+	if b.rank != 130 {
+		t.Fatalf("rank %d after 130 independent inserts", b.rank)
+	}
+	dep := make([]uint64, words)
+	dep[0] = 3 // e0 ^ e1, in the span
+	if b.insert(dep) {
+		t.Fatal("dependent vector grew the rank")
+	}
+}

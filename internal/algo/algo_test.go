@@ -1,0 +1,113 @@
+package algo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != int(numAlgorithms) {
+		t.Fatalf("Registry returned %d entries, want %d", len(reg), int(numAlgorithms))
+	}
+	seenName := map[string]ID{}
+	for i, info := range reg {
+		if info.ID != ID(i) {
+			t.Errorf("entry %d carries ID %d", i, int(info.ID))
+		}
+		if info.Name == "" {
+			t.Errorf("entry %d has no name", i)
+		}
+		if info.Summary == "" {
+			t.Errorf("%s has no summary", info.Name)
+		}
+		if info.Bound == nil || info.BoundName == "" {
+			t.Errorf("%s has no rounds bound", info.Name)
+		}
+		if prev, dup := seenName[strings.ToLower(info.Name)]; dup {
+			t.Errorf("%s collides with %v", info.Name, prev)
+		}
+		seenName[strings.ToLower(info.Name)] = info.ID
+		if info.FaultExecutable && !info.Schedulable {
+			t.Errorf("%s is FaultExecutable but not Schedulable", info.Name)
+		}
+		if info.ImplicitBacked && !info.Deterministic {
+			t.Errorf("%s is ImplicitBacked but not Deterministic", info.Name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, info := range Registry() {
+		for _, name := range append([]string{info.Name, strings.ToUpper(info.Name), " " + info.Name + " "}, info.Aliases...) {
+			got, ok := Lookup(name)
+			if !ok || got.ID != info.ID {
+				t.Errorf("Lookup(%q) = (%v, %v), want %v", name, got.ID, ok, info.ID)
+			}
+		}
+	}
+	if _, ok := Lookup("quantum"); ok {
+		t.Error("Lookup accepted an unregistered name")
+	}
+	if _, ok := Lookup(""); ok {
+		t.Error("Lookup accepted the empty name (defaulting is the caller's job)")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != int(numAlgorithms) {
+		t.Fatalf("Names returned %d entries, want %d", len(names), int(numAlgorithms))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not strictly sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+	for _, n := range names {
+		if _, ok := Lookup(n); !ok {
+			t.Errorf("Names lists %q but Lookup rejects it", n)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := ConcurrentUpDown.String(); got != "ConcurrentUpDown" {
+		t.Errorf("ConcurrentUpDown.String() = %q", got)
+	}
+	if got := ID(99).String(); got != "Algorithm(99)" {
+		t.Errorf("ID(99).String() = %q", got)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	p := BoundParams{N: 64, Radius: 8, Diameter: 16, Messages: 64, ExpandedRadius: 8}
+	cases := map[ID]int{
+		ConcurrentUpDown: 72,
+		Simple:           133,
+		Pipelined:        144,
+		Algebraic:        8*(64+16) + 64,
+		Weighted:         72,
+		Beep:             64 * 63,
+	}
+	for id, want := range cases {
+		if got := ByID(id).Bound(p); got != want {
+			t.Errorf("%v bound = %d, want %d", id, got, want)
+		}
+	}
+	// Trivial networks bound to zero rounds everywhere.
+	for _, info := range Registry() {
+		if got := info.Bound(BoundParams{N: 1}); got != 0 {
+			t.Errorf("%s bound at n=1 is %d, want 0", info.Name, got)
+		}
+	}
+}
+
+func TestByIDPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ByID(99) did not panic")
+		}
+	}()
+	ByID(ID(99))
+}

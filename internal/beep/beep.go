@@ -1,0 +1,231 @@
+// Package beep builds gossip schedules under the collision-constrained
+// (radio) variant of the communication model, after Hounkanli & Pelc
+// ("Deterministic Broadcasting and Gossiping with Beeps") and Wu & Chrobak
+// ("A Gossiping Protocol for Sparse Ad-Hoc Radio Networks"): a transmitting
+// processor cannot aim its multicast — the transmission reaches every
+// neighbour — and the receive-at-most-one rule hardens into a collision
+// rule: a processor within range of two or more simultaneous transmitters
+// hears noise and receives nothing, and a transmitting processor cannot
+// receive at all that round (half-duplex).
+//
+// The planner is a deterministic greedy: each round it picks, for every
+// candidate transmitter, the held message its neighbourhood misses most,
+// then admits transmitters in descending gain order, admitting one only if
+// the deliveries it newly enables outweigh the deliveries its interference
+// destroys. While any (processor, message) deficit remains, some edge
+// crosses it, so the first admitted transmitter always delivers at least
+// one new pair — the per-round progress certificate behind the registered
+// n(n-1) worst-case bound (measured schedules sit near n + O(r)).
+//
+// The emitted schedule records only the effective deliveries (transmitter,
+// message, the neighbours that heard it alone and lacked it), so it is
+// simultaneously a valid schedule of the paper's base model and — as
+// Validate certifies — realisable under the collision rule.
+package beep
+
+import (
+	"fmt"
+
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+// Gossip builds a collision-valid gossip schedule on connected g.
+// maxRounds <= 0 defaults to the certified n(n-1) worst case.
+func Gossip(g *graph.Graph, maxRounds int) (*schedule.Schedule, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("beep: empty network")
+	}
+	if !g.IsConnected() {
+		return nil, graph.ErrDisconnected
+	}
+	if maxRounds <= 0 {
+		maxRounds = n*(n-1) + 1
+	}
+	s := schedule.New(n)
+	if n == 1 {
+		return s, nil
+	}
+
+	holds := make([]*schedule.Bitset, n)
+	for v := 0; v < n; v++ {
+		holds[v] = schedule.NewBitset(n)
+		holds[v].Set(v)
+	}
+	remaining := n * (n - 1)
+
+	msgOf := make([]int, n)     // chosen message per candidate transmitter
+	gainOf := make([]int, n)    // its initial (interference-free) gain
+	order := make([]int, 0, n)  // candidates in admission order
+	transmit := make([]bool, n) // admitted transmitter set
+	coverCnt := make([]int, n)  // transmitting neighbours per processor
+	coverBy := make([]int, n)   // the transmitter behind coverCnt==1
+	for t := 0; remaining > 0; t++ {
+		if t >= maxRounds {
+			return nil, fmt.Errorf("beep: no completion after %d rounds with %d pairs missing", t, remaining)
+		}
+		// Candidate pass: for each processor, the held message the most
+		// neighbours are missing.
+		order = order[:0]
+		for u := 0; u < n; u++ {
+			best, bestGain := -1, 0
+			for m := 0; m < n; m++ {
+				if !holds[u].Has(m) {
+					continue
+				}
+				gain := 0
+				for _, v := range g.Neighbors(u) {
+					if !holds[v].Has(m) {
+						gain++
+					}
+				}
+				if gain > bestGain {
+					best, bestGain = m, gain
+				}
+			}
+			msgOf[u], gainOf[u] = best, bestGain
+			if best >= 0 {
+				order = append(order, u)
+			}
+		}
+		// Admission pass: descending gain, stable by id; admit when newly
+		// enabled deliveries outweigh deliveries destroyed by the added
+		// interference.
+		insertionSortByGain(order, gainOf)
+		for v := 0; v < n; v++ {
+			transmit[v], coverCnt[v], coverBy[v] = false, 0, -1
+		}
+		admitted := 0
+		for _, u := range order {
+			gain, loss := 0, 0
+			for _, v := range g.Neighbors(u) {
+				if transmit[v] {
+					continue // a transmitter hears nothing anyway
+				}
+				switch coverCnt[v] {
+				case 0:
+					if !holds[v].Has(msgOf[u]) {
+						gain++
+					}
+				case 1:
+					// v was hearing exactly coverBy[v]; u's signal
+					// destroys that reception if it was useful.
+					w := coverBy[v]
+					if !holds[v].Has(msgOf[w]) {
+						loss++
+					}
+				}
+			}
+			// Transmitting forfeits u's own reception this round.
+			if coverCnt[u] == 1 && !holds[u].Has(msgOf[coverBy[u]]) {
+				loss++
+			}
+			if gain <= loss || (admitted == 0 && gain == 0) {
+				continue
+			}
+			transmit[u] = true
+			admitted++
+			for _, v := range g.Neighbors(u) {
+				coverCnt[v]++
+				if coverCnt[v] == 1 {
+					coverBy[v] = u
+				}
+			}
+		}
+		// Delivery pass: a processor hearing exactly one transmitter, not
+		// transmitting itself, receives that message; record the innovative
+		// receptions as the transmitter's To set.
+		progress := false
+		for u := 0; u < n; u++ {
+			if !transmit[u] {
+				continue
+			}
+			var to []int
+			for _, v := range g.Neighbors(u) {
+				if transmit[v] || coverCnt[v] != 1 {
+					continue
+				}
+				if holds[v].Has(msgOf[u]) {
+					continue
+				}
+				to = append(to, v)
+			}
+			if len(to) == 0 {
+				continue
+			}
+			s.AddSend(t, msgOf[u], u, to...)
+			for _, v := range to {
+				holds[v].Set(msgOf[u])
+			}
+			remaining -= len(to)
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("beep: round %d made no progress with %d pairs missing", t, remaining)
+		}
+	}
+	return s, nil
+}
+
+// insertionSortByGain orders candidates by descending gain, ties by
+// ascending id — deterministic and stable.
+func insertionSortByGain(order []int, gain []int) {
+	for i := 1; i < len(order); i++ {
+		u := order[i]
+		j := i
+		for j > 0 && (gain[order[j-1]] < gain[u] || (gain[order[j-1]] == gain[u] && order[j-1] > u)) {
+			order[j] = order[j-1]
+			j--
+		}
+		order[j] = u
+	}
+}
+
+// Validate certifies that s is realisable under the collision rule on g:
+// every To set lies inside the sender's neighbourhood, and in every round
+// each recorded receiver hears exactly one of the round's transmitters and
+// is not itself transmitting. (Base-model validity — senders hold what
+// they send, completion — is schedule.CheckGossip's job; this check is the
+// extra constraint the radio model adds.)
+func Validate(g *graph.Graph, s *schedule.Schedule) error {
+	n := g.N()
+	transmitters := make(map[int]bool, n)
+	heard := make([]int, n)
+	for t, round := range s.Rounds {
+		for k := range transmitters {
+			delete(transmitters, k)
+		}
+		for v := 0; v < n; v++ {
+			heard[v] = 0
+		}
+		for _, tx := range round {
+			if transmitters[tx.From] {
+				return fmt.Errorf("beep: round %d: processor %d transmits twice", t, tx.From)
+			}
+			transmitters[tx.From] = true
+			for _, d := range tx.To {
+				if !g.HasEdge(tx.From, d) {
+					return fmt.Errorf("beep: round %d: %d -> %d is not a link", t, tx.From, d)
+				}
+			}
+		}
+		// Count how many transmitters each processor hears.
+		for u := range transmitters {
+			for _, v := range g.Neighbors(u) {
+				heard[v]++
+			}
+		}
+		for _, tx := range round {
+			for _, d := range tx.To {
+				if transmitters[d] {
+					return fmt.Errorf("beep: round %d: receiver %d is itself transmitting", t, d)
+				}
+				if heard[d] != 1 {
+					return fmt.Errorf("beep: round %d: receiver %d hears %d transmitters", t, d, heard[d])
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package beep
+
+import (
+	"math/rand"
+	"testing"
+
+	"multigossip/internal/algo"
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+)
+
+func namedTopologies() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"path16":    graph.Path(16),
+		"cycle17":   graph.Cycle(17),
+		"star12":    graph.Star(12),
+		"grid5x5":   graph.Grid(5, 5),
+		"torus4x4":  graph.Torus(4, 4),
+		"hyper4":    graph.Hypercube(4),
+		"spider3x4": graph.Spider(3, 4),
+		"complete8": graph.Complete(8),
+	}
+}
+
+func checkAll(t *testing.T, g *graph.Graph, s *schedule.Schedule) {
+	t.Helper()
+	if _, err := schedule.CheckGossip(g, s); err != nil {
+		t.Fatalf("base-model validity: %v", err)
+	}
+	if err := Validate(g, s); err != nil {
+		t.Fatalf("collision-model validity: %v", err)
+	}
+	bound := algo.ByID(algo.Beep).Bound(algo.BoundParams{N: g.N()})
+	if s.Time() > bound {
+		t.Fatalf("%d rounds exceeds registered bound %d", s.Time(), bound)
+	}
+}
+
+func TestGossipOnNamedTopologies(t *testing.T) {
+	for name, g := range namedTopologies() {
+		t.Run(name, func(t *testing.T) {
+			s, err := Gossip(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAll(t, g, s)
+		})
+	}
+}
+
+func TestGossipOnRandomNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	for i := 0; i < 20; i++ {
+		n := 2 + rng.Intn(40)
+		var g *graph.Graph
+		if i%2 == 0 {
+			g = graph.RandomTree(rng, n)
+		} else {
+			g = graph.RandomConnected(rng, n, 0.15)
+		}
+		s, err := Gossip(g, 0)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d): %v", i, n, err)
+		}
+		checkAll(t, g, s)
+	}
+}
+
+func TestGossipDeterministic(t *testing.T) {
+	g := graph.Grid(4, 5)
+	a, err := Gossip(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Gossip(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("two builds on the same network differ")
+	}
+}
+
+func TestGossipTrivialAndErrors(t *testing.T) {
+	s, err := Gossip(graph.Path(1), 0)
+	if err != nil || s.Time() != 0 {
+		t.Fatalf("singleton: (%d rounds, %v)", s.Time(), err)
+	}
+	if _, err := Gossip(graph.New(0), 0); err == nil {
+		t.Fatal("empty network accepted")
+	}
+	disc := graph.New(3)
+	disc.AddEdge(0, 1)
+	if _, err := Gossip(disc, 0); err == nil {
+		t.Fatal("disconnected network accepted")
+	}
+	if _, err := Gossip(graph.Path(8), 2); err == nil {
+		t.Fatal("2-round budget somehow sufficed for an 8-path")
+	}
+}
+
+// TestValidateRejectsCollisions feeds Validate a hand-built schedule where
+// one receiver hears two simultaneous transmitters — valid in the base
+// model (one of them targets it), impossible in the radio model.
+func TestValidateRejectsCollisions(t *testing.T) {
+	g := graph.Path(3) // 0-1-2: vertex 1 hears both ends
+	s := schedule.New(3)
+	s.AddSend(0, 0, 0, 1)
+	s.AddSend(0, 2, 2, 1)
+	if err := Validate(g, s); err == nil {
+		t.Fatal("Validate accepted a receiver under two transmitters")
+	}
+}
+
+func TestValidateRejectsTransmittingReceiver(t *testing.T) {
+	g := graph.Path(2)
+	s := schedule.New(2)
+	s.AddSend(0, 0, 0, 1)
+	s.AddSend(0, 1, 1, 0)
+	if err := Validate(g, s); err == nil {
+		t.Fatal("Validate accepted half-duplex violation")
+	}
+}
+
+func TestValidateRejectsNonEdge(t *testing.T) {
+	g := graph.Path(3)
+	s := schedule.New(3)
+	s.AddSend(0, 0, 0, 2) // 0 and 2 are not adjacent
+	if err := Validate(g, s); err == nil {
+		t.Fatal("Validate accepted a transmission across a non-link")
+	}
+}

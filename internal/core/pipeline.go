@@ -3,34 +3,27 @@ package core
 import (
 	"fmt"
 
+	"multigossip/internal/algo"
 	"multigossip/internal/graph"
 	"multigossip/internal/implicit"
 	"multigossip/internal/schedule"
 	"multigossip/internal/spantree"
 )
 
-// Algorithm selects which schedule builder the pipeline runs on the
-// minimum-depth spanning tree.
-type Algorithm int
+// Algorithm aliases the registry's ID type: core and the public facade
+// share one algorithm identity (name, value, capability flags) defined
+// once in internal/algo, so the two enums that used to live here and in
+// multigossip.go cannot drift apart.
+type Algorithm = algo.ID
 
+// Re-exported registry values for the two algorithms this package builds
+// tree schedules for.
 const (
 	// ConcurrentUpDown is the paper's main algorithm: n + r rounds.
-	ConcurrentUpDown Algorithm = iota
+	ConcurrentUpDown = algo.ConcurrentUpDown
 	// Simple is the baseline of Lemma 1: 2n + r - 3 rounds.
-	Simple
+	Simple = algo.Simple
 )
-
-// String returns the algorithm name as used in reports.
-func (a Algorithm) String() string {
-	switch a {
-	case ConcurrentUpDown:
-		return "ConcurrentUpDown"
-	case Simple:
-		return "Simple"
-	default:
-		return fmt.Sprintf("Algorithm(%d)", int(a))
-	}
-}
 
 // Result bundles everything the pipeline produces for a network.
 type Result struct {
@@ -46,7 +39,7 @@ type Result struct {
 // builder on the tree. The returned schedule uses the network's original
 // vertex identifiers, with message m identified with its originating
 // processor; it is guaranteed valid on the tree network and therefore on g.
-func Gossip(g *graph.Graph, algo Algorithm) (*Result, error) {
+func Gossip(g *graph.Graph, a Algorithm) (*Result, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("core: empty network")
 	}
@@ -54,7 +47,11 @@ func Gossip(g *graph.Graph, algo Algorithm) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building minimum-depth spanning tree: %w", err)
 	}
-	res := GossipOnTree(tree)[algo]()
+	build, ok := GossipOnTree(tree)[a]
+	if !ok {
+		return nil, fmt.Errorf("core: no tree schedule builder for algorithm %v", a)
+	}
+	res := build()
 	res.Sweep = sweep
 	return res, nil
 }

@@ -92,6 +92,7 @@ func (s *Suite) All() []*Table {
 		s.E26Randomized(),
 		s.E27KPortSweep(),
 		s.E28MillionNodeSim(),
+		s.E29Portfolio(),
 	}
 }
 
@@ -109,6 +110,7 @@ func (s *Suite) AllParallel() []*Table {
 		s.E20RootAblation, s.E21Fragility, s.E22FanoutSweep,
 		s.E23OptimalityGap, s.E24BarrierMakespan, s.E25PipelineThroughput,
 		s.E26Randomized, s.E27KPortSweep, s.E28MillionNodeSim,
+		s.E29Portfolio,
 	}
 	out := make([]*Table, len(runs))
 	var wg sync.WaitGroup

@@ -28,8 +28,8 @@ func TestSuiteOrderAndIDs(t *testing.T) {
 		t.Skip("full experiment suite skipped in -short mode")
 	}
 	tables := NewSuite().All()
-	if len(tables) != 28 {
-		t.Fatalf("suite has %d experiments, want 28", len(tables))
+	if len(tables) != 29 {
+		t.Fatalf("suite has %d experiments, want 29", len(tables))
 	}
 	for i, table := range tables {
 		want := "E" + itoa(i+1)

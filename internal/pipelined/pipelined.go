@@ -1,0 +1,183 @@
+// Package pipelined implements pipelined gossiping in the spirit of
+// De Florio & Blondia, "The Algorithm of Pipelined Gossiping": gossiping is
+// organised as n concurrent broadcasts pipelined through the network, with
+// no gather phase at all. Every message floods outward from its own
+// originator along the minimum-depth spanning tree, and the floods share
+// the tree by store-and-forward pipelining: a vertex buffers the messages
+// it still owes its neighbours and forwards the highest-priority one per
+// round.
+//
+// This sits structurally between the paper's two schedules. Simple and
+// ConcurrentUpDown both serialise through the root (every message travels
+// origin → root → everywhere); the pipelined floods instead use only the
+// unique tree path between origin and destination, so no vertex is a
+// global bottleneck and the schedule degrades gracefully when the tree is
+// shallow and wide. The price is arbitration: two floods crossing one
+// vertex contend for its single send slot, which the builder resolves
+// deterministically by label priority (lowest message label first, the
+// paper's DFS order). The priority rule yields the progress certificate the
+// registry bound relies on: the globally smallest pending label always
+// wins every receiver it targets, so every round delivers at least one new
+// (processor, message) pair and the builder terminates within n(n-1)
+// rounds; measured schedules sit near n + O(r).
+package pipelined
+
+import (
+	"fmt"
+
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+// flood is one pending forwarding obligation: vertex `at` owes message
+// `msg` to the tree neighbours in `to` (the neighbours it has not yet
+// delivered to).
+type flood struct {
+	msg int
+	to  []int
+}
+
+// Build constructs the pipelined flood schedule on a DFS-labelled tree, in
+// canonical label ids (message m originates at canonical vertex m). Wrap
+// with core.RemapToOriginal for original vertex identifiers.
+func Build(l *spantree.Labeled) *schedule.Schedule {
+	t := l.T
+	n := l.N()
+	s := schedule.New(n)
+	if n <= 1 {
+		return s
+	}
+
+	// neighbours[v] is v's tree neighbourhood: parent (if any) + children.
+	neighbours := make([][]int, n)
+	for v := 0; v < n; v++ {
+		if v != t.Root {
+			neighbours[v] = append(neighbours[v], t.Parent[v])
+		}
+		neighbours[v] = append(neighbours[v], t.Children[v]...)
+	}
+
+	// pending[v] holds v's obligations ordered by ascending label (the
+	// priority order); queued[v] marks labels already in pending[v] so a
+	// message is never queued twice at one vertex.
+	pending := make([][]*flood, n)
+	queued := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		queued[v] = make([]bool, n)
+		enqueue(pending, queued, v, &flood{msg: v, to: append([]int(nil), neighbours[v]...)})
+	}
+	remaining := 0
+	for v := 0; v < n; v++ {
+		remaining += len(pending[v][0].to)
+	}
+
+	// Round construction: every vertex with pending work proposes its
+	// smallest-label obligation to that obligation's remaining targets;
+	// every proposed target accepts the smallest label offered to it
+	// (receive-at-most-one). In a tree each (message, destination) pair has
+	// exactly one possible sender — the next hop on the unique origin path
+	// — so no two proposals ever tie on a label.
+	offer := make([]int, n)    // best label offered to each vertex this round
+	offerBy := make([]int, n)  // the proposing vertex behind offer
+	accepted := make([]int, n) // label each vertex accepted, -1 if none
+	for t0 := 0; remaining > 0; t0++ {
+		if t0 > n*n {
+			// Unreachable by the progress certificate below; a violation
+			// is a builder bug, not an input condition.
+			panic(fmt.Sprintf("pipelined: no completion after %d rounds with %d deliveries left", t0, remaining))
+		}
+		for v := 0; v < n; v++ {
+			offer[v], offerBy[v], accepted[v] = -1, -1, -1
+		}
+		// Proposal pass: smallest-label obligation per vertex.
+		for v := 0; v < n; v++ {
+			if len(pending[v]) == 0 {
+				continue
+			}
+			f := pending[v][0]
+			for _, d := range f.to {
+				if offer[d] == -1 || f.msg < offer[d] {
+					offer[d], offerBy[d] = f.msg, v
+				}
+			}
+		}
+		// Acceptance pass: each target takes its best offer.
+		progress := false
+		for d := 0; d < n; d++ {
+			if offer[d] >= 0 {
+				accepted[d] = offer[d]
+				progress = true
+			}
+		}
+		if !progress {
+			panic("pipelined: stalled with deliveries remaining")
+		}
+		// Commit pass: senders multicast to the accepting subset of their
+		// targets; rejected targets stay queued for retry. Onward floods
+		// spawned by this round's receptions are buffered and enqueued only
+		// after the loop — enqueueing them inline would reorder a later
+		// sender's queue under it, making it silently skip the obligation it
+		// proposed.
+		type arrival struct {
+			at, msg int
+			from    int
+		}
+		var arrivals []arrival
+		for v := 0; v < n; v++ {
+			if len(pending[v]) == 0 {
+				continue
+			}
+			f := pending[v][0]
+			var sent []int
+			var kept []int
+			for _, d := range f.to {
+				if accepted[d] == f.msg && offerBy[d] == v {
+					sent = append(sent, d)
+				} else {
+					kept = append(kept, d)
+				}
+			}
+			if len(sent) == 0 {
+				continue
+			}
+			s.AddSend(t0, f.msg, v, sent...)
+			remaining -= len(sent)
+			f.to = kept
+			if len(f.to) == 0 {
+				pending[v] = pending[v][1:]
+			}
+			for _, d := range sent {
+				arrivals = append(arrivals, arrival{at: d, msg: f.msg, from: v})
+			}
+		}
+		// Each recipient extends the flood to its own remaining tree
+		// neighbourhood (everyone but the vertex it came from).
+		for _, a := range arrivals {
+			var onward []int
+			for _, w := range neighbours[a.at] {
+				if w != a.from {
+					onward = append(onward, w)
+				}
+			}
+			if len(onward) > 0 && !queued[a.at][a.msg] {
+				enqueue(pending, queued, a.at, &flood{msg: a.msg, to: onward})
+				remaining += len(onward)
+			}
+		}
+	}
+	return s
+}
+
+// enqueue inserts f into v's pending queue keeping ascending label order.
+func enqueue(pending [][]*flood, queued [][]bool, v int, f *flood) {
+	queued[v][f.msg] = true
+	q := pending[v]
+	i := len(q)
+	for i > 0 && q[i-1].msg > f.msg {
+		i--
+	}
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = f
+	pending[v] = q
+}

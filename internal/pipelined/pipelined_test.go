@@ -1,0 +1,129 @@
+package pipelined
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"multigossip/internal/algo"
+	"multigossip/internal/core"
+	"multigossip/internal/graph"
+	"multigossip/internal/schedule"
+	"multigossip/internal/spantree"
+)
+
+// buildOn runs the full pipeline on g: minimum-depth tree, labelling,
+// pipelined flood schedule, remapped to original ids.
+func buildOn(t *testing.T, g *graph.Graph) (*schedule.Schedule, int) {
+	t.Helper()
+	tree, err := spantree.MinDepth(g)
+	if err != nil {
+		t.Fatalf("MinDepth: %v", err)
+	}
+	l := spantree.Label(tree)
+	return core.RemapToOriginal(Build(l), l), tree.Height
+}
+
+func namedTopologies() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"path16":    graph.Path(16),
+		"cycle17":   graph.Cycle(17),
+		"star12":    graph.Star(12),
+		"grid5x5":   graph.Grid(5, 5),
+		"torus4x4":  graph.Torus(4, 4),
+		"hyper4":    graph.Hypercube(4),
+		"wheel10":   graph.Wheel(10),
+		"spider3x5": graph.Spider(3, 5),
+		"complete9": graph.Complete(9),
+		"ternary27": graph.KAryTree(27, 3),
+	}
+}
+
+func TestBuildCompletesOnNamedTopologies(t *testing.T) {
+	for name, g := range namedTopologies() {
+		t.Run(name, func(t *testing.T) {
+			s, radius := buildOn(t, g)
+			if _, err := schedule.CheckGossip(g, s); err != nil {
+				t.Fatalf("invalid schedule: %v", err)
+			}
+			bound := algo.ByID(algo.Pipelined).Bound(algo.BoundParams{
+				N: g.N(), Radius: radius,
+			})
+			if s.Time() > bound {
+				t.Fatalf("schedule takes %d rounds, registered bound is %d", s.Time(), bound)
+			}
+		})
+	}
+}
+
+func TestBuildCompletesOnRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1009))
+	for i := 0; i < 30; i++ {
+		n := 2 + rng.Intn(60)
+		g := graph.RandomTree(rng, n)
+		s, radius := buildOn(t, g)
+		if _, err := schedule.CheckGossip(g, s); err != nil {
+			t.Fatalf("trial %d (n=%d): invalid schedule: %v", i, n, err)
+		}
+		bound := algo.ByID(algo.Pipelined).Bound(algo.BoundParams{N: n, Radius: radius})
+		if s.Time() > bound {
+			t.Fatalf("trial %d (n=%d): %d rounds exceeds bound %d", i, n, s.Time(), bound)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	g := graph.Grid(4, 6)
+	a, _ := buildOn(t, g)
+	b, _ := buildOn(t, g)
+	if !a.Equal(b) {
+		t.Fatal("two builds on the same network differ")
+	}
+}
+
+func TestBuildTrivial(t *testing.T) {
+	for n := 1; n <= 2; n++ {
+		g := graph.Path(n)
+		s, _ := buildOn(t, g)
+		if _, err := schedule.CheckGossip(g, s); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestNoGatherPhase certifies the structural claim that motivates the
+// algorithm: floods start everywhere at once instead of gathering to the
+// root first. In round 0 every vertex with a neighbour receives some
+// message — Simple's first round delivers only along the leaf fringe of
+// the gather, and nothing leaves the root until round n - 2.
+func TestNoGatherPhase(t *testing.T) {
+	g := graph.Path(9)
+	s, _ := buildOn(t, g)
+	received := make([]bool, g.N())
+	for _, tx := range s.Rounds[0] {
+		for _, d := range tx.To {
+			received[d] = true
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if !received[v] {
+			t.Fatalf("vertex %d received nothing in round 0", v)
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		g := graph.RandomTree(rand.New(rand.NewSource(int64(n))), n)
+		tree, err := spantree.MinDepth(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l := spantree.Label(tree)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Build(l)
+			}
+		})
+	}
+}

@@ -57,6 +57,35 @@ func VertexView(s *Schedule, t *spantree.Tree, v int) *VertexTimetable {
 	return vt
 }
 
+// FlatView extracts the timetable of vertex v from a schedule with no
+// underlying spanning tree (the collision-constrained planner, contracted
+// weighted schedules): every send lands in the SendChild row and every
+// reception in the RecvChild row, and the parent rows stay empty — the
+// renderer's peer rows double as the flat send/receive rows.
+func FlatView(s *Schedule, v int) *VertexTimetable {
+	rows := s.Time() + 1
+	vt := &VertexTimetable{
+		Vertex:     v,
+		RecvParent: filled(rows, NoMessage),
+		RecvChild:  filled(rows, NoMessage),
+		SendParent: filled(rows, NoMessage),
+		SendChild:  filled(rows, NoMessage),
+	}
+	for time, round := range s.Rounds {
+		for _, tx := range round {
+			if tx.From == v {
+				vt.SendChild[time] = tx.Msg
+			}
+			for _, d := range tx.To {
+				if d == v {
+					vt.RecvChild[time+1] = tx.Msg
+				}
+			}
+		}
+	}
+	return vt
+}
+
 func filled(n, x int) []int {
 	s := make([]int, n)
 	for i := range s {

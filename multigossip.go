@@ -28,38 +28,84 @@ package multigossip
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
+	"multigossip/internal/algebraic"
+	"multigossip/internal/algo"
 	"multigossip/internal/baseline"
+	"multigossip/internal/beep"
 	"multigossip/internal/core"
 	"multigossip/internal/graph"
 	"multigossip/internal/implicit"
 	"multigossip/internal/online"
+	"multigossip/internal/pipelined"
 	"multigossip/internal/schedule"
 	"multigossip/internal/search"
 	"multigossip/internal/spantree"
 	"multigossip/internal/trace"
+	"multigossip/internal/weighted"
 )
 
-// Algorithm selects the schedule construction.
-type Algorithm int
+// Algorithm selects the schedule construction. It aliases the internal
+// registry's ID type, so the public enum, internal/core's enum, the plan
+// cache keys and gossipd's name parsing all share one definition — the
+// same unification CacheSource uses for plancache.Source.
+type Algorithm = algo.ID
 
+// The registered algorithms. Values are stable (they key the plan cache
+// and the disk store); new algorithms append, existing ones never renumber.
 const (
 	// ConcurrentUpDown is the paper's contribution: n + r rounds (Theorem 1).
-	ConcurrentUpDown Algorithm = iota
+	ConcurrentUpDown = algo.ConcurrentUpDown
 	// Simple is the baseline of Lemma 1: 2n + r - 3 rounds.
-	Simple
+	Simple = algo.Simple
+	// Pipelined gossips by concurrent pipelined tree floods with no gather
+	// phase, after De Florio & Blondia's pipelined gossiping.
+	Pipelined = algo.Pipelined
+	// Algebraic is the randomized network-coded baseline after Haeupler:
+	// seeded GF(2) coded packets, no transmission schedule, expected-rounds
+	// reporting. Select the seed with WithSeed.
+	Algebraic = algo.Algebraic
+	// Weighted runs the paper's Section 4 weighted gossiping with unit
+	// counts (the full weighted problem is Network.PlanWeightedGossip).
+	Weighted = algo.Weighted
+	// Beep is the collision-constrained variant: a transmission reaches
+	// every neighbour, and a processor hearing two or more simultaneous
+	// transmitters receives nothing.
+	Beep = algo.Beep
 )
 
-// String names the algorithm.
-func (a Algorithm) String() string {
-	switch a {
-	case ConcurrentUpDown:
-		return "ConcurrentUpDown"
-	case Simple:
-		return "Simple"
+// AlgorithmInfo describes one registered algorithm: canonical name,
+// accepted aliases, capability flags (Deterministic, Schedulable,
+// FaultExecutable, TreeBased, ImplicitBacked) and the registered rounds
+// bound every plan must meet.
+type AlgorithmInfo = algo.Info
+
+// AlgorithmBoundParams feeds an AlgorithmInfo's rounds-bound predicate.
+type AlgorithmBoundParams = algo.BoundParams
+
+// Algorithms returns every registered algorithm in ID order.
+func Algorithms() []AlgorithmInfo { return algo.Registry() }
+
+// AlgorithmNames returns the canonical lowercase name of every registered
+// algorithm, sorted — the valid values of ParseAlgorithm and of gossipd's
+// algorithm request field.
+func AlgorithmNames() []string { return algo.Names() }
+
+// ParseAlgorithm resolves a case-insensitive algorithm name or alias. The
+// empty string selects the default, ConcurrentUpDown; an unknown name
+// errors with the full list of accepted names.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	if strings.TrimSpace(name) == "" {
+		return ConcurrentUpDown, nil
 	}
-	return fmt.Sprintf("Algorithm(%d)", int(a))
+	info, ok := algo.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("multigossip: unknown algorithm %q (want one of %s)",
+			name, strings.Join(algo.Names(), ", "))
+	}
+	return info.ID, nil
 }
 
 // ErrDisconnected is returned (wrapped) by PlanGossip, Metrics and every
@@ -367,14 +413,22 @@ type Plan struct {
 	// ConcurrentUpDown plans.
 	imp *implicit.Plan
 
-	// Lazily reconstructed tree views (eager for Simple plans).
+	// Lazily reconstructed tree views (eager for the other tree-based
+	// algorithms; nil forever for Beep and Algebraic, which communicate
+	// over the raw network).
 	lazyTree sync.Once
 	tree     *spantree.Tree    // spanning tree in original vertex ids
 	labeled  *spantree.Labeled // DFS labelling of tree
 
-	// Lazily materialised schedule (eager for Simple plans).
+	// Lazily materialised schedule (eager for every non-implicit
+	// schedulable algorithm; nil forever for Algebraic).
 	lazySched sync.Once
 	sched     *schedule.Schedule // full schedule in original vertex ids
+
+	// alg is the realized randomized execution; non-nil exactly for
+	// Algebraic plans, whose coded packets no Transmission can express.
+	alg  *algebraic.Result
+	seed int64
 }
 
 // PlanGossip constructs a gossip schedule for the network, by default with
@@ -396,44 +450,103 @@ func planGossip(g *graph.Graph, cfg planConfig) (*Plan, error) {
 	// Connectivity is not checked up front: the minimum-depth sweep inside
 	// the pipeline already proves it (or reports disconnection), so a
 	// dedicated BFS here would be a redundant O(m) pass per plan.
-	switch cfg.algo {
-	case ConcurrentUpDown:
+	build, ok := planBuilders[cfg.algo]
+	if !ok {
+		return nil, fmt.Errorf("multigossip: unknown algorithm %d (want one of %s)",
+			int(cfg.algo), strings.Join(algo.Names(), ", "))
+	}
+	p, err := build(g, cfg)
+	if err != nil {
+		if errors.Is(err, graph.ErrDisconnected) {
+			return nil, ErrDisconnected
+		}
+		return nil, err
+	}
+	return p, nil
+}
+
+// planBuilders dispatches planGossip per registered algorithm. The
+// registry itself cannot hold constructors (it sits below every planner
+// package in the import graph), so this table is the facade's other half
+// of each registry entry; the portfolio test asserts it covers the
+// registry exactly.
+var planBuilders = map[Algorithm]func(*graph.Graph, planConfig) (*Plan, error){
+	ConcurrentUpDown: func(g *graph.Graph, cfg planConfig) (*Plan, error) {
 		imp, sweep, err := core.GossipImplicit(g)
 		if err != nil {
-			if errors.Is(err, graph.ErrDisconnected) {
-				return nil, ErrDisconnected
-			}
 			return nil, err
 		}
 		return &Plan{network: g, algo: cfg.algo, radius: imp.Height(), sweep: sweep, imp: imp}, nil
-	case Simple:
+	},
+	Simple: func(g *graph.Graph, cfg planConfig) (*Plan, error) {
 		res, err := core.Gossip(g, core.Simple)
 		if err != nil {
-			if errors.Is(err, graph.ErrDisconnected) {
-				return nil, ErrDisconnected
-			}
 			return nil, err
 		}
 		return &Plan{
-			network: g,
-			algo:    cfg.algo,
-			radius:  res.Radius,
-			sweep:   res.Sweep,
-			tree:    res.Tree,
-			labeled: res.Labeled,
-			sched:   res.Schedule,
+			network: g, algo: cfg.algo, radius: res.Radius, sweep: res.Sweep,
+			tree: res.Tree, labeled: res.Labeled, sched: res.Schedule,
 		}, nil
-	default:
-		return nil, fmt.Errorf("multigossip: unknown algorithm %d", int(cfg.algo))
-	}
+	},
+	Pipelined: func(g *graph.Graph, cfg planConfig) (*Plan, error) {
+		tree, sweep, err := spantree.MinDepthWithStats(g)
+		if err != nil {
+			return nil, err
+		}
+		l := spantree.Label(tree)
+		return &Plan{
+			network: g, algo: cfg.algo, radius: tree.Height, sweep: sweep,
+			tree: tree, labeled: l,
+			sched: core.RemapToOriginal(pipelined.Build(l), l),
+		}, nil
+	},
+	Weighted: func(g *graph.Graph, cfg planConfig) (*Plan, error) {
+		// Unit counts: the chain expansion is the network itself and the
+		// contracted schedule meets Theorem 1's N + R exactly.
+		counts := make([]int, g.N())
+		for i := range counts {
+			counts[i] = 1
+		}
+		wp, err := weighted.Gossip(g, counts)
+		if err != nil {
+			return nil, err
+		}
+		return &Plan{
+			network: g, algo: cfg.algo, radius: wp.ExpandedRadius, sweep: wp.Sweep,
+			tree: wp.Tree, labeled: wp.Labeled, sched: wp.Schedule,
+		}, nil
+	},
+	Beep: func(g *graph.Graph, cfg planConfig) (*Plan, error) {
+		s, err := beep.Gossip(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		// beep.Gossip proved connectivity, so the radius sweep cannot fail.
+		return &Plan{network: g, algo: cfg.algo, radius: g.Radius(), sched: s}, nil
+	},
+	Algebraic: func(g *graph.Graph, cfg planConfig) (*Plan, error) {
+		res, err := algebraic.Run(g, algebraic.Options{Seed: cfg.seed})
+		if err != nil {
+			return nil, err
+		}
+		return &Plan{
+			network: g, algo: cfg.algo, radius: g.Radius(),
+			alg: &res, seed: cfg.seed,
+		}, nil
+	},
 }
+
+// treeBased reports whether the plan communicates over a spanning tree;
+// Beep and Algebraic plans use the raw network and have no tree views.
+func (p *Plan) treeBased() bool { return p.imp != nil || p.tree != nil }
 
 // treeLabeled returns the plan's spanning tree (original ids) and DFS
 // labelling, reconstructing them from the compact form on first use.
+// Callers must hold treeBased(); tree-less plans would dereference nil.
 func (p *Plan) treeLabeled() (*spantree.Tree, *spantree.Labeled) {
 	p.lazyTree.Do(func() {
 		if p.tree != nil {
-			return // eagerly materialised (Simple)
+			return // eagerly materialised (Simple, Pipelined, Weighted)
 		}
 		p.labeled = p.imp.Labeled()
 		p.tree = p.imp.OriginalTree()
@@ -441,14 +554,26 @@ func (p *Plan) treeLabeled() (*spantree.Tree, *spantree.Labeled) {
 	return p.tree, p.labeled
 }
 
+// Schedulable reports whether the plan carries a concrete round-by-round
+// transmission schedule (Round, RoundAppend, schedule export over the
+// wire). Exactly the registry's Schedulable flag: false only for
+// Algebraic plans, whose coded packets no Transmission can express.
+func (p *Plan) Schedulable() bool { return p.alg == nil }
+
+// errNoSchedule is the error every schedule-consuming operation returns on
+// a plan without one.
+func (p *Plan) errNoSchedule() error {
+	return fmt.Errorf("multigossip: %v plans exchange coded packets and carry no transmission schedule", p.algo)
+}
+
 // schedule returns the fully materialised schedule in original vertex ids,
 // building it from the compact form on first use. Callers that can be
 // served by the closed forms (Round, RoundAppend, TimetableOf, Rounds)
-// never call this.
+// never call this; callers that cannot must hold Schedulable().
 func (p *Plan) schedule() *schedule.Schedule {
 	p.lazySched.Do(func() {
 		if p.sched != nil {
-			return // eagerly materialised (Simple)
+			return // eagerly materialised (Simple, Pipelined, Weighted, Beep)
 		}
 		_, l := p.treeLabeled()
 		p.sched = core.RemapToOriginal(core.BuildConcurrentUpDown(l), l)
@@ -458,6 +583,7 @@ func (p *Plan) schedule() *schedule.Schedule {
 
 type planConfig struct {
 	algo Algorithm
+	seed int64
 }
 
 // PlanOption configures PlanGossip.
@@ -466,18 +592,35 @@ type PlanOption func(*planConfig)
 // WithAlgorithm selects the schedule construction algorithm.
 func WithAlgorithm(a Algorithm) PlanOption { return func(c *planConfig) { c.algo = a } }
 
+// WithSeed selects the random seed of seeded algorithms (Algebraic); equal
+// seeds on equal topologies replay identically, and the plan cache keys
+// seeded plans by (topology, algorithm, seed). Deterministic algorithms
+// ignore it.
+func WithSeed(seed int64) PlanOption { return func(c *planConfig) { c.seed = seed } }
+
 // Rounds returns the total communication time: the number of rounds until
 // every processor holds every message. For ConcurrentUpDown this is exactly
-// Processors() + Radius().
+// Processors() + Radius(); for Algebraic it is the realized completion
+// round of the plan's seeded run.
 func (p *Plan) Rounds() int {
 	if p.imp != nil {
 		return p.imp.Rounds()
+	}
+	if p.alg != nil {
+		return p.alg.Rounds
 	}
 	return p.sched.Time()
 }
 
 // Radius returns the spanning tree height used by the plan (= network radius).
 func (p *Plan) Radius() int { return p.radius }
+
+// Algorithm returns the algorithm that built the plan.
+func (p *Plan) Algorithm() Algorithm { return p.algo }
+
+// Seed returns the random seed of a seeded (Algebraic) plan; zero for
+// deterministic plans.
+func (p *Plan) Seed() int64 { return p.seed }
 
 // Round returns the transmissions of round t (messages sent at time t and
 // received at time t+1). Out-of-range rounds return nil. Every call
@@ -498,8 +641,8 @@ func (p *Plan) RoundAppend(t int, dst []Transmission) []Transmission {
 	if p.imp != nil {
 		return appendImplicitRound(p.imp, t, dst)
 	}
-	if t < 0 || t >= len(p.sched.Rounds) {
-		return dst
+	if p.sched == nil || t < 0 || t >= len(p.sched.Rounds) {
+		return dst // non-schedulable plan, or out-of-range round
 	}
 	for _, tx := range p.sched.Rounds[t] {
 		dst = appendTransmission(dst, tx.Msg, tx.From, tx.To)
@@ -543,7 +686,19 @@ func appendTransmission(dst []Transmission, msg, from int, to []int) []Transmiss
 // that gossiping completes; it returns nil for every plan this package
 // produces and exists so users can assert it cheaply in their own tests.
 // Verify replays every delivery, so it materialises the full schedule.
+// Algebraic plans re-simulate their seeded run and check it reproduces the
+// recorded outcome.
 func (p *Plan) Verify() error {
+	if p.alg != nil {
+		res, err := algebraic.Run(p.network, algebraic.Options{Seed: p.seed})
+		if err != nil {
+			return err
+		}
+		if res != *p.alg {
+			return fmt.Errorf("multigossip: seeded replay diverged from the recorded run (seed %d)", p.seed)
+		}
+		return nil
+	}
 	_, err := schedule.CheckGossip(p.network, p.schedule())
 	return err
 }
@@ -556,13 +711,24 @@ func (p *Plan) TimetableOf(v int) string {
 	if p.imp != nil {
 		return trace.FormatTimetable(p.imp.Timetable(v))
 	}
+	if p.sched == nil {
+		return fmt.Sprintf("(no timetable: %v plans carry no transmission schedule)", p.algo)
+	}
+	if !p.treeBased() {
+		return trace.FormatTimetable(schedule.FlatView(p.sched, v))
+	}
 	tree, _ := p.treeLabeled()
 	return trace.FormatTimetable(schedule.VertexView(p.sched, tree, v))
 }
 
 // TreeString renders the spanning tree the plan communicates over,
-// annotated with each processor's DFS message label and level.
+// annotated with each processor's DFS message label and level. Plans that
+// communicate over the raw network (Beep, Algebraic) have no tree and
+// render a note instead.
 func (p *Plan) TreeString() string {
+	if !p.treeBased() {
+		return fmt.Sprintf("(no spanning tree: %v plans communicate over the raw network)", p.algo)
+	}
 	tree, l := p.treeLabeled()
 	return trace.FormatTree(tree, func(v int) string {
 		return fmt.Sprintf("[msg %d, level %d]", l.LabelOf[v], tree.Level[v])
@@ -571,8 +737,15 @@ func (p *Plan) TreeString() string {
 
 // Stats summarises the plan: rounds, transmissions, deliveries, fanout and
 // slot utilisation. It walks every delivery and therefore materialises the
-// full schedule.
-func (p *Plan) Stats() string { return schedule.Measure(p.schedule()).String() }
+// full schedule. Algebraic plans summarise their realized seeded run
+// instead.
+func (p *Plan) Stats() string {
+	if p.alg != nil {
+		return fmt.Sprintf("rounds=%d deliveries=%d innovative=%d collisions=%d lost=%d (seed %d)",
+			p.alg.Rounds, p.alg.Deliveries, p.alg.Innovative, p.alg.Collisions, p.alg.Lost, p.seed)
+	}
+	return schedule.Measure(p.schedule()).String()
+}
 
 // ExecuteDistributed replays the plan with one goroutine per processor,
 // each deriving its transmissions purely from its local tuple
@@ -581,6 +754,9 @@ func (p *Plan) Stats() string { return schedule.Measure(p.schedule()).String() }
 // the run violates the model or deviates from the offline schedule.
 // Only ConcurrentUpDown and Simple plans are supported.
 func (p *Plan) ExecuteDistributed() (int, error) {
+	if p.algo != ConcurrentUpDown && p.algo != Simple {
+		return 0, fmt.Errorf("multigossip: no distributed protocol for algorithm %v", p.algo)
+	}
 	_, l := p.treeLabeled()
 	var protos []online.Protocol
 	var want *schedule.Schedule
@@ -591,8 +767,6 @@ func (p *Plan) ExecuteDistributed() (int, error) {
 	case Simple:
 		protos = online.NewSimple(l)
 		want = core.BuildSimple(l)
-	default:
-		return 0, fmt.Errorf("multigossip: no distributed protocol for algorithm %d", int(p.algo))
 	}
 	got, err := online.Run(l, protos, 0)
 	if err != nil {

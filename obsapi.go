@@ -127,6 +127,9 @@ type TraceReport struct {
 // concurrently from several goroutines as long as the observer is safe for
 // concurrent use.
 func (p *Plan) ExecuteTraced(observer RoundObserver) (TraceReport, error) {
+	if !p.Schedulable() {
+		return TraceReport{}, p.errNoSchedule()
+	}
 	n := p.network.N()
 	progress := obs.NewProgressCollector(n, n*n)
 	ro := obs.Multi(observer, progress)

@@ -1,17 +1,24 @@
 package multigossip
 
 import (
+	"errors"
 	"fmt"
 
+	"multigossip/internal/fault"
+	"multigossip/internal/graph"
+	"multigossip/internal/obs"
+	"multigossip/internal/repair"
 	"multigossip/internal/schedule"
+	"multigossip/internal/trace"
 	"multigossip/internal/weighted"
 )
 
 // WeightedPlan is a schedule for the weighted gossiping problem of
 // Section 4: processor v starts with counts[v] >= 1 messages and every
-// message must reach every processor.
+// message must reach every processor. Like Plan it is immutable and safe
+// to share between goroutines.
 type WeightedPlan struct {
-	network *Network
+	network *graph.Graph // private topology snapshot
 	plan    *weighted.Plan
 }
 
@@ -20,13 +27,19 @@ type WeightedPlan struct {
 // virtual processors, ConcurrentUpDown runs on the expansion, and the
 // schedule is contracted back (the splitting is "mimicked"). The expanded
 // schedule takes exactly N + R rounds for N total messages and expanded
-// radius R.
+// radius R (Theorem 1 on the expansion). Like PlanGossip it plans against
+// a private snapshot of the topology, so it is safe to run concurrently
+// with link churn.
 func (nw *Network) PlanWeightedGossip(counts []int) (*WeightedPlan, error) {
-	p, err := weighted.Gossip(nw.g, counts)
+	g := nw.snapshotGraph()
+	p, err := weighted.Gossip(g, counts)
 	if err != nil {
+		if errors.Is(err, graph.ErrDisconnected) {
+			return nil, ErrDisconnected
+		}
 		return nil, err
 	}
-	return &WeightedPlan{network: nw, plan: p}, nil
+	return &WeightedPlan{network: g, plan: p}, nil
 }
 
 // Rounds returns the contracted schedule's total communication time.
@@ -36,26 +49,54 @@ func (p *WeightedPlan) Rounds() int { return p.plan.Schedule.Time() }
 func (p *WeightedPlan) TotalMessages() int { return p.plan.TotalMessages }
 
 // ExpandedRounds returns the chain-expanded schedule's total time, which is
-// exactly TotalMessages + expanded radius by Theorem 1.
+// exactly TotalMessages + ExpandedRadius by Theorem 1.
 func (p *WeightedPlan) ExpandedRounds() int { return p.plan.Expanded.Time() }
 
-// MessageOwner returns the processor at which message m originates.
-func (p *WeightedPlan) MessageOwner(m int) int { return p.plan.MsgOwner[m] }
+// ExpandedRadius returns the radius of the chain-expanded network.
+func (p *WeightedPlan) ExpandedRadius() int { return p.plan.ExpandedRadius }
+
+// MessageOwner returns the processor at which message m originates, or -1
+// for a message id outside [0, TotalMessages).
+func (p *WeightedPlan) MessageOwner(m int) int {
+	if m < 0 || m >= len(p.plan.MsgOwner) {
+		return -1
+	}
+	return p.plan.MsgOwner[m]
+}
 
 // Round returns the transmissions of round t of the contracted schedule.
+// Out-of-range rounds — negative or past the end — return nil, matching
+// Plan.Round. (An earlier version indexed the schedule unchecked and
+// panicked on both.)
 func (p *WeightedPlan) Round(t int) []Transmission {
-	round := p.plan.Schedule.Rounds[t]
-	out := make([]Transmission, len(round))
-	for i, tx := range round {
-		out[i] = Transmission{Message: tx.Msg, From: tx.From, To: append([]int(nil), tx.To...)}
+	return p.RoundAppend(t, nil)
+}
+
+// RoundAppend appends the transmissions of round t to dst and returns the
+// extended slice — the allocation-free counterpart of Round, with the same
+// scratch-reuse contract as Plan.RoundAppend. Out-of-range rounds append
+// nothing.
+func (p *WeightedPlan) RoundAppend(t int, dst []Transmission) []Transmission {
+	if t < 0 || t >= len(p.plan.Schedule.Rounds) {
+		return dst
 	}
-	return out
+	for _, tx := range p.plan.Schedule.Rounds[t] {
+		dst = appendTransmission(dst, tx.Msg, tx.From, tx.To)
+	}
+	return dst
+}
+
+// TimetableOf renders processor v's rows of the contracted schedule. The
+// contraction has no per-vertex tree role (chain-internal hops are
+// mimicked away), so the flat send/receive view is used.
+func (p *WeightedPlan) TimetableOf(v int) string {
+	return trace.FormatTimetable(schedule.FlatView(p.plan.Schedule, v))
 }
 
 // Verify re-validates the contracted schedule under the model with the
 // weighted initial hold sets and checks completion.
 func (p *WeightedPlan) Verify() error {
-	res, err := schedule.Run(p.network.g, p.plan.Schedule, schedule.Options{Initial: p.plan.InitialHolds()})
+	res, err := schedule.Run(p.network, p.plan.Schedule, schedule.Options{Initial: p.plan.InitialHolds()})
 	if err != nil {
 		return err
 	}
@@ -65,4 +106,115 @@ func (p *WeightedPlan) Verify() error {
 		}
 	}
 	return nil
+}
+
+// SizeBytes reports the plan's resident size — the plancache.Sizer
+// contract for the weighted cache tier. Both the contracted and the
+// expanded schedule are charged; weighted plans are always materialised.
+func (p *WeightedPlan) SizeBytes() int64 {
+	const word = 8
+	b := int64(p.network.N())*2*word + int64(p.network.M())*2*word
+	for _, s := range []*schedule.Schedule{p.plan.Schedule, p.plan.Expanded} {
+		b += int64(len(s.Rounds)) * 3 * word
+		for _, r := range s.Rounds {
+			b += int64(len(r)) * 5 * word
+			for _, tx := range r {
+				b += int64(len(tx.To)) * word
+			}
+		}
+	}
+	b += int64(len(p.plan.MsgOwner)) * word
+	return b
+}
+
+// ExecuteWithFaults replays the weighted plan under injected faults with
+// full fault propagation, then runs the same self-healing loop as
+// Plan.ExecuteWithFaults: compute which processors miss which messages,
+// synthesize model-valid repair rounds, execute them under the same fault
+// model, and iterate within the repair budget. The repair engine is
+// message-count agnostic, so the weighted instance (NMsg > N, weighted
+// initial holds) reuses it unchanged; coverage fractions are over
+// Processors() x TotalMessages() pairs.
+func (p *WeightedPlan) ExecuteWithFaults(opts ...FaultOption) (FaultReport, error) {
+	cfg := faultConfig{repair: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.validation != nil {
+		return FaultReport{}, cfg.validation
+	}
+	var inj fault.Injector
+	if len(cfg.injectors) > 0 {
+		inj = cfg.injectors
+	}
+	s := p.plan.Schedule
+	for _, c := range cfg.injectors {
+		switch f := c.(type) {
+		case fault.CrashWindow:
+			if f.Proc >= s.N {
+				return FaultReport{}, fmt.Errorf("multigossip: crash processor %d out of range [0,%d)", f.Proc, s.N)
+			}
+		case fault.DeadLink:
+			if f.U >= s.N || f.V >= s.N {
+				return FaultReport{}, fmt.Errorf("multigossip: dead link (%d, %d) out of range [0,%d)", f.U, f.V, s.N)
+			}
+			if !p.network.HasEdge(f.U, f.V) {
+				return FaultReport{}, fmt.Errorf("multigossip: dead link (%d, %d) is not a network link", f.U, f.V)
+			}
+		}
+	}
+	n := p.network.N()
+	progress := obs.NewProgressCollector(n, n*p.plan.TotalMessages)
+	ro := obs.Multi(cfg.observer, progress)
+	ro.BeginPhase("schedule", "Weighted")
+	holds, dropped, err := fault.ExecuteTraced(p.network, s, inj, p.plan.InitialHolds(), 0, nil, ro)
+	ro.EndPhase("schedule")
+	if err != nil {
+		return FaultReport{}, err
+	}
+	rep := FaultReport{
+		Coverage:       fault.Coverage(holds),
+		ScheduleRounds: s.Time(),
+		Dropped:        dropped,
+	}
+	if !cfg.repair {
+		rep.FinalCoverage = rep.Coverage
+		rep.ReachableCoverage = rep.Coverage
+		rep.TotalRounds = rep.ScheduleRounds
+		rep.Complete = repair.MissingPairs(holds) == 0
+		rep.ProgressCurve = progress.Curve()
+		return rep, nil
+	}
+	ro.BeginPhase("repair", "")
+	out, err := repair.Run(p.network, holds, repair.Options{
+		MaxIterations:       cfg.maxIters,
+		Injector:            inj,
+		RoundOffset:         s.Time(),
+		Validate:            true,
+		QuarantineThreshold: cfg.quarantine,
+		Observer:            ro,
+	})
+	ro.EndPhase("repair")
+	if err != nil {
+		return FaultReport{}, err
+	}
+	rep.Dropped += out.Dropped
+	rep.Repaired = out.Repaired
+	rep.RepairRounds = out.Rounds
+	rep.RepairIterations = out.Iterations
+	rep.TotalRounds = rep.ScheduleRounds + out.Rounds
+	rep.FinalCoverage = fault.Coverage(out.Holds)
+	rep.Complete = out.Complete
+	rep.ReachableCoverage = out.ReachableCoverage
+	for _, pr := range out.Unreachable {
+		rep.Unreachable = append(rep.Unreachable, Pair{Processor: pr.Processor, Message: pr.Message})
+	}
+	for _, e := range out.QuarantinedLinks {
+		rep.QuarantinedLinks = append(rep.QuarantinedLinks, Link{U: e.U, V: e.V})
+	}
+	rep.DownProcessors = out.DownProcessors
+	rep.Components = out.Components
+	rep.Stalled = out.Stalled
+	rep.ProgressCurve = progress.Curve()
+	return rep, nil
 }

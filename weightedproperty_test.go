@@ -1,0 +1,217 @@
+package multigossip
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestWeightedPlanRoundOutOfRange is the regression test for the
+// out-of-range panic: Round used to index the contracted schedule
+// unchecked, so a negative round or one past the end crashed the caller.
+// Both must return empty now, and RoundAppend must leave dst untouched.
+func TestWeightedPlanRoundOutOfRange(t *testing.T) {
+	plan, err := Ring(5).PlanWeightedGossip([]int{1, 2, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []int{-1, -100, plan.Rounds(), plan.Rounds() + 7} {
+		if got := plan.Round(tc); len(got) != 0 {
+			t.Errorf("Round(%d) = %d transmissions, want none", tc, len(got))
+		}
+	}
+	scratch := plan.Round(0)
+	if len(scratch) == 0 {
+		t.Fatal("round 0 is empty")
+	}
+	if got := plan.RoundAppend(plan.Rounds(), scratch); len(got) != len(scratch) {
+		t.Errorf("RoundAppend past the end grew dst from %d to %d", len(scratch), len(got))
+	}
+	if got := plan.RoundAppend(-3, scratch); len(got) != len(scratch) {
+		t.Errorf("RoundAppend(-3) grew dst from %d to %d", len(scratch), len(got))
+	}
+	if plan.MessageOwner(-1) != -1 || plan.MessageOwner(plan.TotalMessages()) != -1 {
+		t.Error("MessageOwner out of range must return -1")
+	}
+}
+
+// TestWeightedTheorem1Exact asserts the paper's Theorem 1 equality on the
+// chain expansion — ExpandedRounds == TotalMessages + ExpandedRadius,
+// exactly, not just as an upper bound — across named topologies with
+// non-uniform counts and across seeded random trees.
+func TestWeightedTheorem1Exact(t *testing.T) {
+	check := func(t *testing.T, nw *Network, counts []int) {
+		t.Helper()
+		plan, err := nw.PlanWeightedGossip(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.Verify(); err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+		if got, want := plan.ExpandedRounds(), plan.TotalMessages()+plan.ExpandedRadius(); got != want {
+			t.Fatalf("ExpandedRounds = %d, want N + R = %d + %d = %d",
+				got, plan.TotalMessages(), plan.ExpandedRadius(), want)
+		}
+		if plan.Rounds() > plan.ExpandedRounds() {
+			t.Fatalf("contracted %d rounds exceeds expanded %d", plan.Rounds(), plan.ExpandedRounds())
+		}
+	}
+
+	named := []struct {
+		name string
+		nw   *Network
+	}{
+		{"ring9", Ring(9)},
+		{"line7", Line(7)},
+		{"mesh3x4", Mesh(3, 4)},
+		{"star8", Star(8)},
+		{"torus3x3", Torus(3, 3)},
+		{"hypercube3", Hypercube(3)},
+		{"complete6", FullyConnected(6)},
+		{"petersen", PetersenGraph()},
+		{"fig4", Fig4Network()},
+	}
+	for _, tc := range named {
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.nw.Processors()
+			counts := make([]int, n)
+			for i := range counts {
+				counts[i] = 1 + (i % 3) // mixed 1..3
+			}
+			check(t, tc.nw, counts)
+		})
+	}
+	t.Run("random-trees", func(t *testing.T) {
+		for seed := int64(0); seed < 12; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			n := 3 + rng.Intn(22)
+			nw := RandomTreeNetwork(rng, n)
+			counts := make([]int, n)
+			for i := range counts {
+				counts[i] = 1 + rng.Intn(4)
+			}
+			check(t, nw, counts)
+		}
+	})
+}
+
+// TestWeightedPlanConcurrentReaders is the -race certificate for sharing
+// one WeightedPlan between goroutines: cached weighted plans are served to
+// concurrent requests exactly like Plan, so every read-only method must be
+// safe without external locking.
+func TestWeightedPlanConcurrentReaders(t *testing.T) {
+	plan, err := Mesh(3, 3).PlanWeightedGossip([]int{1, 2, 1, 3, 1, 1, 2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var scratch []Transmission
+			for i := 0; i < 50; i++ {
+				scratch = plan.RoundAppend(i%(plan.Rounds()+2)-1, scratch[:0])
+				_ = plan.Round(i % plan.Rounds())
+				_ = plan.TimetableOf(i % 9)
+				_ = plan.MessageOwner(i % plan.TotalMessages())
+				_ = plan.Rounds()
+				_ = plan.ExpandedRounds()
+				if i%10 == g {
+					if err := plan.Verify(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestWeightedPlanExecuteWithFaults runs the weighted schedule through the
+// fault-injection and self-healing stack: lossy links must end complete
+// after repair, and the coverage fractions must account for all
+// TotalMessages (not just n) messages.
+func TestWeightedPlanExecuteWithFaults(t *testing.T) {
+	plan, err := Ring(8).PlanWeightedGossip([]int{2, 1, 1, 3, 1, 1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clean, err := plan.ExecuteWithFaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Complete || clean.Coverage != 1 || clean.RepairRounds != 0 {
+		t.Fatalf("fault-free execution: %+v, want complete full coverage with no repair", clean)
+	}
+	if clean.ScheduleRounds != plan.Rounds() {
+		t.Fatalf("ScheduleRounds = %d, want %d", clean.ScheduleRounds, plan.Rounds())
+	}
+
+	lossy, err := plan.ExecuteWithFaults(WithLinkLoss(0.2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lossy.Complete {
+		t.Fatalf("lossy execution did not heal: %+v", lossy)
+	}
+	if lossy.Dropped == 0 {
+		t.Fatal("20% link loss dropped nothing — injection did not reach the weighted schedule")
+	}
+	if lossy.Coverage >= 1 {
+		t.Fatalf("schedule-only coverage %v under loss, want < 1", lossy.Coverage)
+	}
+
+	norep, err := plan.ExecuteWithFaults(WithLinkLoss(0.5, 3), WithoutRepair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norep.Complete || norep.RepairRounds != 0 {
+		t.Fatalf("repair disabled: %+v, want incomplete with no repair rounds", norep)
+	}
+
+	if _, err := plan.ExecuteWithFaults(WithCrashWindow(99, 0, 2)); err == nil {
+		t.Fatal("crash processor out of range accepted")
+	}
+	if _, err := plan.ExecuteWithFaults(WithDeadLink(0, 4)); err == nil {
+		t.Fatal("dead non-link accepted")
+	}
+}
+
+// TestWeightedPlanCache covers the weighted cache tier: same (topology,
+// counts) hits, different counts miss, and the convenience wrapper returns
+// the shared cached plan.
+func TestWeightedPlanCache(t *testing.T) {
+	pc := NewPlanCache()
+	nw := Ring(7)
+	counts := []int{1, 2, 1, 1, 3, 1, 1}
+
+	p1, src, err := pc.WeightedPlanSourced(nw, counts)
+	if err != nil || src != CacheMiss {
+		t.Fatalf("first: source %v, err %v", src, err)
+	}
+	p2, src, err := pc.WeightedPlanSourced(nw, counts)
+	if err != nil || src != CacheHit {
+		t.Fatalf("repeat: source %v, err %v", src, err)
+	}
+	if p1 != p2 {
+		t.Fatal("cache hit returned a different plan")
+	}
+	other := []int{1, 2, 1, 1, 3, 1, 2}
+	if _, src, err = pc.WeightedPlanSourced(nw, other); err != nil || src != CacheMiss {
+		t.Fatalf("different counts: source %v, err %v — counts must key the entry", src, err)
+	}
+	p3, err := pc.WeightedPlan(nw, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 != p1 {
+		t.Fatal("wrapper missed the cached plan")
+	}
+	if _, _, err := pc.WeightedPlanSourced(NewNetwork(3), []int{1, 1, 1}); err == nil {
+		t.Fatal("disconnected weighted plan cached without error")
+	}
+}
